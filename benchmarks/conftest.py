@@ -1,0 +1,25 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper figure's data series and prints the
+same rows the paper reports. Simulation budgets honour ``REPRO_SCALE``
+(default here: 0.25 for a quick sweep; set ``REPRO_SCALE=1`` to reproduce
+the full EXPERIMENTS.md numbers).
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "0.25")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured function exactly once (simulations are long-running
+    and deterministic; statistical repetition adds nothing)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

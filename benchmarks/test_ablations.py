@@ -1,0 +1,48 @@
+"""Ablation benchmarks: design-space points the paper mentions but did not
+evaluate (see DESIGN.md per-experiment index, abl-* rows)."""
+
+from repro.experiments import ablations
+
+
+def test_unit_width(once):
+    """Paper section 3.1: AP/EP load imbalance costs ~15 % of peak; an
+    asymmetric split was left as future work."""
+    data = once(ablations.unit_width)
+    print()
+    print(ablations.render_unit_width(data))
+    # the symmetric paper split must not be grossly inferior to the best
+    best = max(r["ipc"] for r in data.values())
+    assert data[(4, 4)]["ipc"] > 0.85 * best
+
+
+def test_fetch_policy(once):
+    data = once(ablations.fetch_policy)
+    print()
+    print(ablations.render_fetch_policy(data))
+    assert data["icount"]["ipc"] > 0.9 * data["rr"]["ipc"]
+
+
+def test_mshr_sweep(once):
+    """Quantifies the DESIGN.md substitution: 16 MSHRs cannot sustain the
+    MLP the paper's latency sweep implies."""
+    data = once(ablations.mshr)
+    print()
+    print(ablations.render_mshr(data))
+    assert data[64]["ipc"] > data[8]["ipc"]
+
+
+def test_iq_depth(once):
+    """Slip (and therefore latency hiding) is bounded by the IQ depth."""
+    data = once(ablations.iq_depth)
+    print()
+    print(ablations.render_iq_depth(data))
+    assert data[192]["slip"] > data[8]["slip"]
+    assert data[192]["ipc"] > data[8]["ipc"]
+
+
+def test_rob_size(once):
+    """Sensitivity to the ROB size Figure 2 leaves unspecified."""
+    data = once(ablations.rob)
+    print()
+    print(ablations.render_rob(data))
+    assert data[256]["ipc"] > 0.8 * data[512]["ipc"]

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Custom workload: define your own benchmark profile and study how well it
+decouples.
+
+The public API lets you describe a program by its memory behaviour and
+dependence structure (a :class:`~repro.workloads.BenchProfile`) instead of
+needing binaries or traces. This example defines a fictional sparse-solver
+kernel, then measures its decoupling quality three ways:
+
+* the AP/EP *slip* (how far the access processor runs ahead),
+* the perceived FP-load miss latency (what the EP actually waits),
+* IPC across decoupled vs non-decoupled machines.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import Processor, format_table, paper_config
+from repro.workloads import BenchProfile, synthesize
+
+KB = 1024
+MB = 1024 * KB
+
+# A fictional sparse triangular solver: gathers through an index array with
+# little static scheduling distance, touches a 2 MB matrix, and feeds a
+# moderately deep FP dependence chain.
+sparse_solver = BenchProfile(
+    name="sparse-solver",
+    n_streams=2,
+    unroll=2,
+    elem_bytes=8,
+    ws_bytes=2 * MB,
+    hot_frac=0.45,
+    hot_bytes=4 * KB,
+    gather_frac=0.25,
+    index_dist=1,
+    gather_ws_bytes=2 * MB,
+    fp_per_load=1.8,
+    chain_depth=3,
+    n_chains=3,
+    store_per_load=0.25,
+    iters=64,
+)
+
+# The same kernel after "software pipelining": indices loaded 3 iterations
+# ahead — the compiler optimisation the paper says integer loads rely on.
+pipelined = sparse_solver.with_overrides(name="sparse-pipelined", index_dist=3)
+
+
+def measure(profile: BenchProfile, decoupled: bool):
+    trace = synthesize(profile, 40_000)
+    cfg = paper_config(n_threads=1, l2_latency=64, decoupled=decoupled,
+                       scale_with_latency=True)
+    proc = Processor(cfg, [[trace]])
+    stats = proc.run(max_commits=25_000, warmup_commits=12_000)
+    return stats
+
+
+def main() -> None:
+    rows = []
+    for profile in (sparse_solver, pipelined):
+        dec = measure(profile, decoupled=True)
+        non = measure(profile, decoupled=False)
+        rows.append([
+            profile.name,
+            dec.ipc,
+            non.ipc,
+            dec.average_slip,
+            dec.perceived_fp_latency,
+            dec.perceived_int_latency,
+        ])
+    print(
+        format_table(
+            ["kernel", "IPC dec", "IPC non-dec", "slip", "pFP (cyc)", "pINT (cyc)"],
+            rows,
+            "Decoupling quality of custom kernels (1 thread, L2=64)",
+        )
+    )
+    print(
+        "\npINT falls when indices are loaded further ahead: decoupling "
+        "cannot hide integer-load latency; only static scheduling can "
+        "(paper section 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Watch decoupling happen, instruction by instruction.
+
+Attaches the pipeline tracer to a short miss-heavy loop and prints each
+instruction's fetch/issue/complete/commit cycles for the decoupled and the
+non-decoupled machine side by side. In the decoupled timeline, AP
+instructions (pointer updates and loads) issue dozens of cycles before the
+EP instructions fetched alongside them — that distance *is* the slip that
+hides memory latency. In the non-decoupled timeline the two columns move in
+lock-step.
+
+Run:  python examples/decoupling_trace.py
+"""
+
+from repro import Processor, paper_config
+from repro.isa.instruction import StaticInst
+from repro.isa.opclass import OpClass
+from repro.isa.trace import Trace
+from repro.stats.tracing import Tracer
+
+
+def miss_heavy_loop(n_iters: int = 40) -> Trace:
+    """ptr += k; f = load A[i] (always a fresh line); acc = acc op f."""
+    insts = []
+    pc = 0x1000
+    for i in range(n_iters):
+        insts.append(StaticInst(pc, OpClass.IALU, dest=2, srcs=(2,)))
+        insts.append(
+            StaticInst(
+                pc + 4, OpClass.LOAD_F, dest=40 + (i % 8), srcs=(2,),
+                addr=0x100000 + i * 32,
+            )
+        )
+        insts.append(
+            StaticInst(pc + 8, OpClass.FALU, dest=36, srcs=(36, 40 + (i % 8)))
+        )
+    return Trace(insts, name="miss-loop")
+
+
+def run_traced(decoupled: bool) -> None:
+    cfg = paper_config(
+        n_threads=1, l2_latency=32, decoupled=decoupled, mshrs=64
+    )
+    proc = Processor(cfg, [[miss_heavy_loop()]], wrap=False)
+    tracer = Tracer(proc)
+    while not proc.finished():
+        proc.step()
+        tracer.observe()
+    mode = "DECOUPLED" if decoupled else "NON-DECOUPLED"
+    print(f"=== {mode} ===  (F=fetch  I=issue  C=complete  R=retire)")
+    print(tracer.trace.format_timeline(tid=0, limit=24))
+    print()
+
+
+def main() -> None:
+    run_traced(decoupled=True)
+    run_traced(decoupled=False)
+    print(
+        "In the decoupled run, look at the I column: loads issue every "
+        "couple of cycles while FALU issue times lag far behind — the AP "
+        "has slipped ahead and every miss is already in flight when its "
+        "consumer reaches the EP's queue head."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file only enables
+``python setup.py develop`` on offline machines where the ``wheel`` package
+(required by PEP 517 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

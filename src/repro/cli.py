@@ -1,0 +1,121 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+* ``figure {fig1,fig3,fig4,fig5,all}`` — regenerate a paper figure's data
+  and print it as text tables.
+* ``ablation {unit_width,fetch_policy,mshr,iq_depth,rob,all}`` — run an
+  ablation study.
+* ``run`` — one custom simulation (threads / latency / mode / budgets).
+* ``bench NAME`` — one single-threaded benchmark run with a full report.
+
+Use ``REPRO_SCALE=0.2 repro-sim figure fig4`` for a fast smoke sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.figures import FIGURES
+from repro.experiments.runner import run_multiprogrammed, run_single_benchmark
+from repro.stats.report import format_run
+from repro.workloads.profiles import BENCH_ORDER
+
+
+def _cmd_figure(args) -> int:
+    names = list(FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        build, render = FIGURES[name]
+        t0 = time.time()
+        data = build(seed=args.seed)
+        print(render(data))
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    names = list(ABLATIONS) if args.name == "all" else [args.name]
+    for name in names:
+        build, render = ABLATIONS[name]
+        t0 = time.time()
+        data = build(seed=args.seed)
+        print(render(data))
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    stats = run_multiprogrammed(
+        args.threads,
+        l2_latency=args.latency,
+        decoupled=not args.non_decoupled,
+        seed=args.seed,
+        commits_per_thread=args.commits,
+    )
+    mode = "non-decoupled" if args.non_decoupled else "decoupled"
+    print(format_run(stats, f"{args.threads} threads, L2={args.latency}, {mode}"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.name not in BENCH_ORDER:
+        print(
+            f"unknown benchmark {args.name!r}; known: {', '.join(BENCH_ORDER)}",
+            file=sys.stderr,
+        )
+        return 2
+    stats = run_single_benchmark(
+        args.name,
+        l2_latency=args.latency,
+        decoupled=not args.non_decoupled,
+        seed=args.seed,
+    )
+    print(format_run(stats, f"{args.name} (1 thread, L2={args.latency})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Cycle-accurate SMT + decoupled access/execute simulator "
+            "(reproduction of Parcerisa & González, HPCA 1999)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("name", choices=sorted(FIGURES) + ["all"])
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("ablation", help="run an ablation study")
+    p.add_argument("name", choices=sorted(ABLATIONS) + ["all"])
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("run", help="one custom multithreaded run")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--latency", type=int, default=16, help="L2 latency (cycles)")
+    p.add_argument("--non-decoupled", action="store_true")
+    p.add_argument("--commits", type=int, default=None,
+                   help="measured commits per thread")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("bench", help="one single-threaded benchmark run")
+    p.add_argument("name", help=f"one of: {', '.join(BENCH_ORDER)}")
+    p.add_argument("--latency", type=int, default=16)
+    p.add_argument("--non-decoupled", action="store_true")
+    p.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

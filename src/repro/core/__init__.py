@@ -1,0 +1,21 @@
+"""The SMT + decoupled access/execute core model."""
+
+from repro.core.config import MachineConfig, PAPER_BASELINE, paper_config
+from repro.core.context import ThreadContext
+from repro.core.predictor import BimodalBHT
+from repro.core.processor import Processor, SimulationError
+from repro.core.queues import InstQueue, StoreAddressQueue
+from repro.core.rename import RenameFile
+
+__all__ = [
+    "MachineConfig",
+    "PAPER_BASELINE",
+    "paper_config",
+    "Processor",
+    "SimulationError",
+    "ThreadContext",
+    "BimodalBHT",
+    "RenameFile",
+    "InstQueue",
+    "StoreAddressQueue",
+]

@@ -1,0 +1,131 @@
+"""Per-thread hardware context.
+
+The paper replicates, per context: fetch and dispatch state (including the
+branch predictor and the register map tables), the register files and all
+architectural queues. The issue logic, functional units and caches are
+shared and live in :class:`repro.core.processor.Processor`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import MachineConfig
+from repro.core.predictor import BimodalBHT
+from repro.core.queues import InstQueue, StoreAddressQueue
+from repro.core.rename import RenameFile
+from repro.isa.instruction import DynInst
+from repro.isa.trace import Trace
+from repro.workloads.wrongpath import WrongPathGenerator
+
+
+class ThreadContext:
+    """All replicated per-context state of the multithreaded machine."""
+
+    def __init__(
+        self,
+        tid: int,
+        cfg: MachineConfig,
+        playlist: list[Trace],
+        seed: int = 0,
+        wrap: bool = True,
+    ):
+        if not playlist or any(len(tr) == 0 for tr in playlist):
+            raise ValueError("thread playlist must contain non-empty traces")
+        self.tid = tid
+        self.wrap = wrap
+        self.cfg = cfg
+        self.playlist = playlist
+        self.play_idx = 0
+        self.trace = playlist[0]
+        self.pos = 0
+        # Region-aware per-thread data-address salts: the data layout puts
+        # each region class in its own 64 MB space, so the region is the
+        # address's 26-bit-shifted prefix. Store regions (prefix 22) and the
+        # hot region (prefix 23) get their own set-tiling strides; everything
+        # else uses the stream salt. See MachineConfig for the rationale.
+        self.salt = tid * cfg.salt_stream_bytes
+        self._salt_by_region = {
+            20: tid * cfg.salt_store_bytes,  # gather tables tile like stores
+            22: tid * cfg.salt_store_bytes,
+            23: tid * cfg.salt_hot_bytes,
+        }
+
+        # front end
+        self.bht = BimodalBHT(cfg.bht_entries)
+        self.fetch_buf: deque[DynInst] = deque()
+        self.wrong_path = False
+        self.wp_gen = WrongPathGenerator(seed=(seed * 1031 + tid) & 0x7FFFFFFF)
+        self.wp_queue: deque = deque()
+        #: seq of mispredicted branch -> (play_idx, pos) of the correct path
+        self.branch_resume: dict[int, tuple[int, int]] = {}
+
+        # rename + windows
+        self.rename = RenameFile(cfg.ap_regs, cfg.ep_regs)
+        self.rob: deque[DynInst] = deque()
+        self.aq = InstQueue(cfg.aq_size)          # AP-side queue (decoupled)
+        self.iq = InstQueue(cfg.iq_size)          # EP instruction queue
+        self.uq = InstQueue(cfg.iq_size)          # unified queue (non-dec.)
+        self.saq = StoreAddressQueue(cfg.saq_size)
+        self.unresolved_branches = 0
+
+        # bookkeeping
+        self.seq = 0
+        self.committed = 0
+        #: seq of the youngest AP instruction issued so far (slip metric)
+        self.last_ap_seq = 0
+
+    def salted(self, addr: int) -> int:
+        """Apply this thread's region-aware address salt."""
+        return addr + self._salt_by_region.get(addr >> 26, self.salt)
+
+    # -- trace walking -------------------------------------------------------------
+
+    def cur_static(self):
+        return self.trace[self.pos]
+
+    def advance(self) -> None:
+        """Move to the next correct-path instruction (wrapping the playlist
+        unless this context runs a finite program)."""
+        self.pos += 1
+        if self.pos >= len(self.trace):
+            if self.wrap or self.play_idx + 1 < len(self.playlist):
+                self.play_idx = (self.play_idx + 1) % len(self.playlist)
+                self.trace = self.playlist[self.play_idx]
+                self.pos = 0
+            # else: exhausted; pos stays just past the end
+
+    @property
+    def exhausted(self) -> bool:
+        """True when a finite (non-wrapping) program has been fully fetched."""
+        return self.pos >= len(self.trace)
+
+    def mark_resume(self, seq: int) -> None:
+        """Record the correct-path resume point for a mispredicted branch."""
+        self.branch_resume[seq] = (self.play_idx, self.pos)
+
+    def resume_from(self, seq: int) -> None:
+        """Restore the correct-path fetch position after a squash."""
+        self.play_idx, self.pos = self.branch_resume.pop(seq)
+        self.trace = self.playlist[self.play_idx]
+        self.wrong_path = False
+        self.wp_queue.clear()
+
+    # -- derived state ----------------------------------------------------------------
+
+    @property
+    def icount(self) -> int:
+        """Instructions pending dispatch (the paper's I-COUNT fetch metric)."""
+        return len(self.fetch_buf)
+
+    def rob_full(self) -> bool:
+        return len(self.rob) >= self.cfg.rob_size
+
+    def in_flight(self) -> int:
+        return len(self.rob)
+
+    def next_wp_inst(self):
+        """Next synthetic wrong-path static instruction."""
+        if not self.wp_queue:
+            self.wp_queue.extend(self.wp_gen.next_block(16))
+        return self.wp_queue.popleft()

@@ -1,0 +1,47 @@
+"""Branch prediction: a per-thread bimodal BHT (paper: 2K entries x 2 bit)."""
+
+from __future__ import annotations
+
+
+class BimodalBHT:
+    """Classic 2-bit saturating-counter branch history table.
+
+    One table per hardware context (the paper replicates branch prediction
+    state per thread). Counters start weakly taken (2), which trains onto
+    loop branches in one execution.
+    """
+
+    def __init__(self, entries: int = 2048):
+        if entries & (entries - 1) or entries <= 0:
+            raise ValueError("BHT entries must be a power of two")
+        self._mask = entries - 1
+        self.table = bytearray([2]) * entries
+        self.lookups = 0
+        self.hits = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        self.lookups += 1
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter at ``pc`` with the actual outcome."""
+        i = self._index(pc)
+        c = self.table[i]
+        if taken:
+            if c < 3:
+                self.table[i] = c + 1
+        else:
+            if c > 0:
+                self.table[i] = c - 1
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Fetch-time convenience: predict, then train on the trace outcome."""
+        pred = self.predict(pc)
+        if pred == taken:
+            self.hits += 1
+        self.update(pc, taken)
+        return pred

@@ -1,0 +1,130 @@
+"""Bounded in-order instruction queues.
+
+Three queue kinds, all per thread:
+
+* the EP **Instruction Queue** — the paper's decoupling mechanism: it buffers
+  dispatched-but-unissued EP instructions so the AP can slip ahead;
+* the AP queue — the symmetric buffer on the AP side (the paper leaves it
+  unnamed; dispatch stalls when it fills);
+* the **Store Address Queue** — holds every store from dispatch until its
+  cache write completes; loads search it to bypass (or forward from) older
+  stores.
+
+In the non-decoupled baseline, a single unified queue of ``iq`` capacity
+replaces the AP/EP pair, coupling the two units back together.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.instruction import DynInst
+
+
+class InstQueue:
+    """A bounded FIFO of dispatched, unissued instructions."""
+
+    __slots__ = ("capacity", "q")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.q: deque[DynInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    def __bool__(self) -> bool:
+        return bool(self.q)
+
+    @property
+    def full(self) -> bool:
+        return len(self.q) >= self.capacity
+
+    def head(self) -> DynInst:
+        return self.q[0]
+
+    def push(self, inst: DynInst) -> None:
+        if len(self.q) >= self.capacity:
+            raise OverflowError("push to full queue (dispatch must check)")
+        self.q.append(inst)
+
+    def pop_head(self) -> DynInst:
+        return self.q.popleft()
+
+    def squash_tail(self, seq: int) -> int:
+        """Drop every instruction younger than ``seq``; returns the count."""
+        n = 0
+        q = self.q
+        while q and q[-1].seq > seq:
+            q.pop()
+            n += 1
+        return n
+
+
+class StoreAddressQueue:
+    """The per-thread SAQ with an address membership index.
+
+    The membership counter makes the common case — a load that matches no
+    pending store — O(1); only actual address matches walk the queue to find
+    the youngest older store.
+    """
+
+    __slots__ = ("capacity", "q", "_addr_count")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("SAQ capacity must be >= 1")
+        self.capacity = capacity
+        self.q: deque[DynInst] = deque()
+        self._addr_count: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+    @property
+    def full(self) -> bool:
+        return len(self.q) >= self.capacity
+
+    def push(self, inst: DynInst) -> None:
+        if len(self.q) >= self.capacity:
+            raise OverflowError("push to full SAQ (dispatch must check)")
+        self.q.append(inst)
+        a = inst.static.addr
+        self._addr_count[a] = self._addr_count.get(a, 0) + 1
+
+    def _forget(self, inst: DynInst) -> None:
+        a = inst.static.addr
+        c = self._addr_count[a] - 1
+        if c:
+            self._addr_count[a] = c
+        else:
+            del self._addr_count[a]
+
+    def release_head(self) -> DynInst:
+        """Remove the oldest store (its cache write completed)."""
+        inst = self.q.popleft()
+        self._forget(inst)
+        return inst
+
+    def head(self) -> DynInst:
+        return self.q[0]
+
+    def squash_tail(self, seq: int) -> int:
+        n = 0
+        q = self.q
+        while q and q[-1].seq > seq:
+            self._forget(q.pop())
+            n += 1
+        return n
+
+    def find_older_match(self, addr: int, seq: int) -> DynInst | None:
+        """Youngest store older than ``seq`` with the same word address, or
+        None. O(1) when no store in the queue touches ``addr``."""
+        if addr not in self._addr_count:
+            return None
+        for inst in reversed(self.q):
+            if inst.seq < seq and inst.static.addr == addr:
+                return inst
+        return None

@@ -1,0 +1,22 @@
+"""Experiment harness: per-figure drivers, ablations and runners."""
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.figures import FIGURES, LATENCIES, fig1, fig3, fig4, fig5
+from repro.experiments.runner import (
+    run_multiprogrammed,
+    run_single_benchmark,
+    scale_factor,
+)
+
+__all__ = [
+    "FIGURES",
+    "ABLATIONS",
+    "LATENCIES",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "run_multiprogrammed",
+    "run_single_benchmark",
+    "scale_factor",
+]

@@ -1,0 +1,135 @@
+"""Ablation studies beyond the paper's figures.
+
+These quantify design choices the paper mentions but does not evaluate:
+
+* ``unit_width`` — the paper notes a 15 % effective-peak loss from AP/EP
+  load imbalance and says asymmetric issue widths are "beyond the scope of
+  this study"; we sweep the split.
+* ``fetch_policy`` — ICOUNT-style selection vs pure round-robin.
+* ``mshr`` — the paper's fixed 16 MSHRs vs the latency-scaled file this
+  reproduction uses by default for large latencies (see DESIGN.md).
+* ``iq_depth`` — the instruction-queue depth that bounds AP/EP slip.
+* ``rob`` — sensitivity to the ROB size Figure 2 leaves unspecified.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_multiprogrammed
+from repro.stats.report import format_table
+
+
+def unit_width(total: int = 8, n_threads: int = 4, seed: int = 0) -> dict:
+    """Sweep the AP/EP issue-width split at a fixed total width."""
+    out = {}
+    for ap in range(2, total - 1):
+        ep = total - ap
+        stats = run_multiprogrammed(
+            n_threads, seed=seed, ap_width=ap, ep_width=ep
+        )
+        out[(ap, ep)] = {
+            "ipc": stats.ipc,
+            "ap_util": stats.unit_utilization(0),
+            "ep_util": stats.unit_utilization(1),
+        }
+    return out
+
+
+def render_unit_width(data: dict) -> str:
+    rows = [
+        [f"{ap}+{ep}", r["ipc"], r["ap_util"] * 100, r["ep_util"] * 100]
+        for (ap, ep), r in sorted(data.items())
+    ]
+    return format_table(
+        ["AP+EP", "IPC", "AP util %", "EP util %"],
+        rows,
+        "Ablation: issue-width split (4 threads, L2 = 16)",
+    )
+
+
+def fetch_policy(n_threads: int = 4, seed: int = 0) -> dict:
+    """ICOUNT vs round-robin fetch thread selection."""
+    out = {}
+    for policy in ("icount", "rr"):
+        stats = run_multiprogrammed(n_threads, seed=seed, fetch_policy=policy)
+        out[policy] = {"ipc": stats.ipc}
+    return out
+
+
+def render_fetch_policy(data: dict) -> str:
+    rows = [[p, r["ipc"]] for p, r in data.items()]
+    return format_table(
+        ["policy", "IPC"], rows, "Ablation: fetch policy (4 threads)"
+    )
+
+
+def mshr(n_threads: int = 4, l2_latency: int = 64, seed: int = 0) -> dict:
+    """MSHR count at high latency: the paper's fixed 16 vs scaled."""
+    out = {}
+    for count in (8, 16, 32, 64, 128):
+        stats = run_multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed, mshrs=count
+        )
+        out[count] = {
+            "ipc": stats.ipc,
+            "alloc_failures": stats.mshr_alloc_failures,
+        }
+    return out
+
+
+def render_mshr(data: dict) -> str:
+    rows = [[n, r["ipc"], r["alloc_failures"]] for n, r in sorted(data.items())]
+    return format_table(
+        ["MSHRs", "IPC", "alloc failures"],
+        rows,
+        "Ablation: MSHR count (4 threads, L2 = 64)",
+    )
+
+
+def iq_depth(n_threads: int = 1, l2_latency: int = 64, seed: int = 0) -> dict:
+    """Instruction-queue depth: the slip ceiling of decoupling."""
+    out = {}
+    for size in (8, 16, 32, 48, 96, 192):
+        stats = run_multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed,
+            iq_size=size, aq_size=size,
+        )
+        out[size] = {"ipc": stats.ipc, "slip": stats.average_slip}
+    return out
+
+
+def render_iq_depth(data: dict) -> str:
+    rows = [[n, r["ipc"], r["slip"]] for n, r in sorted(data.items())]
+    return format_table(
+        ["IQ entries", "IPC", "avg slip"],
+        rows,
+        "Ablation: instruction-queue depth (1 thread, L2 = 64)",
+    )
+
+
+def rob(n_threads: int = 4, l2_latency: int = 64, seed: int = 0) -> dict:
+    """ROB size sensitivity (the paper does not list a size)."""
+    out = {}
+    for size in (64, 128, 256, 512):
+        stats = run_multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed, rob_size=size
+        )
+        out[size] = {"ipc": stats.ipc}
+    return out
+
+
+def render_rob(data: dict) -> str:
+    rows = [[n, r["ipc"]] for n, r in sorted(data.items())]
+    return format_table(
+        ["ROB entries", "IPC"],
+        rows,
+        "Ablation: ROB size (4 threads, L2 = 64)",
+    )
+
+
+ABLATIONS = {
+    "unit_width": (unit_width, render_unit_width),
+    "fetch_policy": (fetch_policy, render_fetch_policy),
+    "mshr": (mshr, render_mshr),
+    "iq_depth": (iq_depth, render_iq_depth),
+    "rob": (rob, render_rob),
+}

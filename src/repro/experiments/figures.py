@@ -1,0 +1,252 @@
+"""Per-figure experiment drivers.
+
+Each ``figN()`` function runs the simulations behind one figure of the paper
+and returns a plain-dict data structure; each ``render_figN()`` turns that
+into the same rows/series the paper plots, as text tables. The CLI
+(``repro-sim figure figN``) and the benchmark harness both call these.
+
+Figure inventory (see DESIGN.md for the per-experiment index):
+
+* Figure 1 (section 2, single-threaded, resources scaled with latency):
+  a) average perceived FP-load miss latency vs L2 latency per benchmark,
+  b) same for integer loads,
+  c) load/store miss ratios at L2 = 256,
+  d) % IPC loss relative to L2 = 1.
+* Figure 3: issue-slot breakdown per unit for 1-6 threads at L2 = 16.
+* Figure 4: perceived latency / % IPC loss / IPC for {1..4 threads} x
+  {decoupled, non-decoupled} over L2 latencies 1-256.
+* Figure 5: IPC vs thread count, decoupled vs non-decoupled, at L2 = 16
+  (1-7 threads) and L2 = 64 (1-16 threads), plus bus utilization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_multiprogrammed, run_single_benchmark
+from repro.isa.opclass import Unit
+from repro.stats.report import format_table
+from repro.workloads.profiles import BENCH_ORDER
+
+#: the paper's L2 latency sweep points
+LATENCIES = (1, 16, 32, 64, 128, 256)
+
+
+# --------------------------------------------------------------------- figure 1
+
+def fig1(latencies=LATENCIES, benches=None, seed: int = 0) -> dict:
+    """Section-2 sweep: per-benchmark latency-hiding effectiveness."""
+    benches = list(benches or BENCH_ORDER)
+    out: dict = {"latencies": list(latencies), "benches": benches, "runs": {}}
+    for bench in benches:
+        per_lat = {}
+        for lat in latencies:
+            stats = run_single_benchmark(bench, l2_latency=lat, seed=seed)
+            per_lat[lat] = {
+                "ipc": stats.ipc,
+                "perceived_fp": stats.perceived_fp_latency,
+                "perceived_int": stats.perceived_int_latency,
+                "load_miss_ratio": stats.load_miss_ratio,
+                "store_miss_ratio": stats.store_miss_ratio,
+                "bus": stats.bus_utilization,
+                "slip": stats.average_slip,
+            }
+        out["runs"][bench] = per_lat
+    return out
+
+
+def render_fig1(data: dict) -> str:
+    lats = data["latencies"]
+    blocks = []
+    for key, title in (
+        ("perceived_fp", "Figure 1-a: avg perceived FP-load miss latency (cycles)"),
+        ("perceived_int", "Figure 1-b: avg perceived integer-load miss latency (cycles)"),
+    ):
+        rows = [
+            [b] + [data["runs"][b][lat][key] for lat in lats]
+            for b in data["benches"]
+        ]
+        blocks.append(
+            format_table(["bench"] + [f"L2={lat}" for lat in lats], rows, title)
+        )
+    big = max(lats)
+    rows = [
+        [
+            b,
+            data["runs"][b][big]["load_miss_ratio"] * 100,
+            data["runs"][b][big]["store_miss_ratio"] * 100,
+        ]
+        for b in data["benches"]
+    ]
+    blocks.append(
+        format_table(
+            ["bench", "load miss %", "store miss %"],
+            rows,
+            f"Figure 1-c: miss ratios at L2 = {big}",
+        )
+    )
+    rows = []
+    for b in data["benches"]:
+        base = data["runs"][b][lats[0]]["ipc"]
+        rows.append(
+            [b]
+            + [
+                (data["runs"][b][lat]["ipc"] / base - 1.0) * 100 if base else 0.0
+                for lat in lats
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["bench"] + [f"L2={lat}" for lat in lats],
+            rows,
+            "Figure 1-d: % IPC change relative to L2 = 1",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------- figure 3
+
+def fig3(thread_counts=(1, 2, 3, 4, 5, 6), seed: int = 0) -> dict:
+    """Issue-slot breakdown vs thread count (decoupled, L2 = 16)."""
+    out: dict = {"threads": list(thread_counts), "runs": {}}
+    for nt in thread_counts:
+        stats = run_multiprogrammed(nt, l2_latency=16, decoupled=True, seed=seed)
+        out["runs"][nt] = {
+            "ipc": stats.ipc,
+            "ap": stats.slot_fractions(Unit.AP),
+            "ep": stats.slot_fractions(Unit.EP),
+            "bus": stats.bus_utilization,
+            "load_miss_ratio": stats.load_miss_ratio,
+        }
+    return out
+
+
+def render_fig3(data: dict) -> str:
+    header = [
+        "threads", "IPC",
+        "AP useful%", "AP mem%", "AP fu%", "AP other%", "AP wp/idle%",
+        "EP useful%", "EP mem%", "EP fu%", "EP other%", "EP wp/idle%",
+    ]
+    rows = []
+    for nt in data["threads"]:
+        r = data["runs"][nt]
+        ap, ep = r["ap"], r["ep"]
+        rows.append([
+            nt, r["ipc"],
+            ap["useful"] * 100, ap["wait_mem"] * 100, ap["wait_fu"] * 100,
+            ap["other"] * 100, (ap["wrong_path"] + ap["idle"]) * 100,
+            ep["useful"] * 100, ep["wait_mem"] * 100, ep["wait_fu"] * 100,
+            ep["other"] * 100, (ep["wrong_path"] + ep["idle"]) * 100,
+        ])
+    return format_table(
+        header, rows, "Figure 3: issue-slot breakdown (decoupled, L2 = 16)"
+    )
+
+
+# --------------------------------------------------------------------- figure 4
+
+def fig4(
+    latencies=LATENCIES, thread_counts=(1, 2, 3, 4), seed: int = 0
+) -> dict:
+    """Latency tolerance of the 8 configurations (sections 3.2)."""
+    out: dict = {
+        "latencies": list(latencies),
+        "threads": list(thread_counts),
+        "runs": {},
+    }
+    for decoupled in (True, False):
+        for nt in thread_counts:
+            per_lat = {}
+            for lat in latencies:
+                stats = run_multiprogrammed(
+                    nt, l2_latency=lat, decoupled=decoupled, seed=seed
+                )
+                per_lat[lat] = {
+                    "ipc": stats.ipc,
+                    "perceived": stats.perceived_load_latency,
+                    "bus": stats.bus_utilization,
+                }
+            out["runs"][(decoupled, nt)] = per_lat
+    return out
+
+
+def _fig4_rows(data: dict, value) -> list[list]:
+    rows = []
+    for decoupled in (False, True):
+        for nt in data["threads"]:
+            run = data["runs"][(decoupled, nt)]
+            label = f"{nt}T {'dec' if decoupled else 'non-dec'}"
+            rows.append([label] + [value(run, lat) for lat in data["latencies"]])
+    return rows
+
+
+def render_fig4(data: dict) -> str:
+    lats = data["latencies"]
+    headers = ["config"] + [f"L2={lat}" for lat in lats]
+    blocks = [
+        format_table(
+            headers,
+            _fig4_rows(data, lambda run, lat: run[lat]["perceived"]),
+            "Figure 4-a: avg perceived load miss latency (cycles)",
+        ),
+        format_table(
+            headers,
+            _fig4_rows(
+                data,
+                lambda run, lat: (run[lat]["ipc"] / run[lats[0]]["ipc"] - 1) * 100
+                if run[lats[0]]["ipc"] else 0.0,
+            ),
+            "Figure 4-b: % IPC change relative to L2 = 1",
+        ),
+        format_table(
+            headers,
+            _fig4_rows(data, lambda run, lat: run[lat]["ipc"]),
+            "Figure 4-c: IPC",
+        ),
+    ]
+    return "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------- figure 5
+
+def fig5(
+    threads_16=tuple(range(1, 8)),
+    threads_64=tuple(range(1, 17)),
+    seed: int = 0,
+) -> dict:
+    """Thread-count sweeps at L2 = 16 and L2 = 64 (section 3.3)."""
+    out: dict = {"series": {}}
+    for lat, counts in ((16, threads_16), (64, threads_64)):
+        for decoupled in (True, False):
+            label = f"L2={lat} {'dec' if decoupled else 'non-dec'}"
+            pts = {}
+            for nt in counts:
+                stats = run_multiprogrammed(
+                    nt, l2_latency=lat, decoupled=decoupled, seed=seed
+                )
+                pts[nt] = {"ipc": stats.ipc, "bus": stats.bus_utilization}
+            out["series"][label] = pts
+    return out
+
+
+def render_fig5(data: dict) -> str:
+    blocks = []
+    for label, pts in data["series"].items():
+        rows = [
+            [nt, p["ipc"], p["bus"] * 100] for nt, p in sorted(pts.items())
+        ]
+        blocks.append(
+            format_table(
+                ["threads", "IPC", "bus util %"],
+                rows,
+                f"Figure 5 series: {label}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+FIGURES = {
+    "fig1": (fig1, render_fig1),
+    "fig3": (fig3, render_fig3),
+    "fig4": (fig4, render_fig4),
+    "fig5": (fig5, render_fig5),
+}

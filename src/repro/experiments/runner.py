@@ -1,0 +1,95 @@
+"""Experiment execution helpers.
+
+Every figure driver funnels through :func:`run_multiprogrammed` (paper
+section 3 experiments) or :func:`run_single_benchmark` (section 2), which
+build the machine + workload, warm it up, run the measured region and return
+the finalised :class:`~repro.stats.counters.SimStats`.
+
+Instruction budgets scale with ``REPRO_SCALE`` (a float environment
+variable, default 1.0) so the benchmark harness can run quick smoke sweeps
+while the full harness reproduces the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import paper_config
+from repro.core.processor import Processor
+from repro.stats.counters import SimStats
+from repro.workloads.multiprogram import multiprogram, single_program
+
+#: measured commits per hardware context in multithreaded runs
+COMMITS_PER_THREAD = 15_000
+#: warm-up commits per hardware context (discarded)
+WARMUP_PER_THREAD = 8_000
+#: trace segment length per benchmark in multiprogrammed playlists
+SEG_INSTRS = 20_000
+#: single-benchmark (section 2) budgets
+SINGLE_COMMITS = 30_000
+SINGLE_WARMUP = 15_000
+
+
+def scale_factor() -> float:
+    """Global instruction-budget scale (``REPRO_SCALE`` env var)."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def _scaled(n: int) -> int:
+    return max(500, int(n * scale_factor()))
+
+
+def run_multiprogrammed(
+    n_threads: int,
+    l2_latency: int = 16,
+    decoupled: bool = True,
+    seed: int = 0,
+    commits_per_thread: int | None = None,
+    warmup_per_thread: int | None = None,
+    seg_instrs: int = SEG_INSTRS,
+    **config_overrides,
+) -> SimStats:
+    """One paper-section-3 run: rotated SPEC FP95 mix on all contexts."""
+    cfg = paper_config(
+        n_threads=n_threads,
+        decoupled=decoupled,
+        l2_latency=l2_latency,
+        **config_overrides,
+    )
+    playlists = multiprogram(n_threads, seg_instrs=seg_instrs, seed=seed)
+    proc = Processor(cfg, playlists, seed=seed)
+    commits = _scaled(commits_per_thread or COMMITS_PER_THREAD) * n_threads
+    warmup = _scaled(warmup_per_thread or WARMUP_PER_THREAD) * n_threads
+    return proc.run(
+        max_commits=commits, warmup_commits=warmup, max_cycles=4_000_000
+    )
+
+
+def run_single_benchmark(
+    bench: str,
+    l2_latency: int = 16,
+    scale_with_latency: bool = True,
+    decoupled: bool = True,
+    seed: int = 0,
+    commits: int | None = None,
+    warmup: int | None = None,
+    **config_overrides,
+) -> SimStats:
+    """One paper-section-2 run: a single benchmark on one context."""
+    cfg = paper_config(
+        n_threads=1,
+        decoupled=decoupled,
+        l2_latency=l2_latency,
+        scale_with_latency=scale_with_latency,
+        **config_overrides,
+    )
+    commits = _scaled(commits or SINGLE_COMMITS)
+    warmup = _scaled(warmup or SINGLE_WARMUP)
+    playlists = single_program(bench, n_instrs=max(commits, 20_000), seed=seed)
+    proc = Processor(cfg, playlists, seed=seed)
+    return proc.run(
+        max_commits=commits, warmup_commits=warmup, max_cycles=8_000_000
+    )

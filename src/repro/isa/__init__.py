@@ -1,0 +1,51 @@
+"""Alpha-like ISA model: op classes, registers, instructions and traces."""
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opclass import (
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    OpClass,
+    Unit,
+    is_load,
+    is_mem,
+    is_store,
+    steer,
+)
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_ARCH,
+    NUM_FP_ARCH,
+    NUM_INT_ARCH,
+    fp_reg,
+    int_reg,
+    is_fp,
+    is_zero,
+    reg_name,
+)
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = [
+    "OpClass",
+    "Unit",
+    "steer",
+    "is_load",
+    "is_store",
+    "is_mem",
+    "MEMORY_OPS",
+    "LOAD_OPS",
+    "STORE_OPS",
+    "StaticInst",
+    "DynInst",
+    "Trace",
+    "TraceStats",
+    "NUM_ARCH",
+    "NUM_INT_ARCH",
+    "NUM_FP_ARCH",
+    "FP_BASE",
+    "int_reg",
+    "fp_reg",
+    "is_fp",
+    "is_zero",
+    "reg_name",
+]

@@ -1,0 +1,89 @@
+"""Operation classes of the Alpha-like instruction set model.
+
+The paper's steering rule (section 2) dispatches instructions to one of two
+decoupled processing units by data type:
+
+* the Address Processor (AP) receives every memory instruction, all integer
+  computation and all branches;
+* the Execute Processor (EP) receives floating-point computation.
+
+Cross-file moves model the only data paths between the two register files:
+``ITOF`` behaves like a load from the EP's point of view (an AP-side producer
+of an EP register), while ``FTOI`` is the canonical *loss-of-decoupling*
+event: an AP-side consumer must wait for the EP to catch up.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Dynamic instruction classes recognised by the pipeline."""
+
+    IALU = 0      # integer ALU op (AP, latency 1)
+    FALU = 1      # floating-point op (EP, latency 4)
+    LOAD_I = 2    # integer load  (AP; writes the AP register file)
+    LOAD_F = 3    # FP load       (AP; writes the EP register file)
+    STORE_I = 4   # integer store (AP address + AP data)
+    STORE_F = 5   # FP store      (AP address + EP data)
+    BRANCH = 6    # conditional branch (AP, latency 1)
+    ITOF = 7      # int -> FP move (AP executes; writes the EP file)
+    FTOI = 8      # FP -> int move (EP executes; writes the AP file)
+
+
+#: Op classes that access data memory.
+MEMORY_OPS = frozenset(
+    (OpClass.LOAD_I, OpClass.LOAD_F, OpClass.STORE_I, OpClass.STORE_F)
+)
+
+#: Op classes that read data memory.
+LOAD_OPS = frozenset((OpClass.LOAD_I, OpClass.LOAD_F))
+
+#: Op classes that write data memory.
+STORE_OPS = frozenset((OpClass.STORE_I, OpClass.STORE_F))
+
+
+class Unit(enum.IntEnum):
+    """The two decoupled processing units."""
+
+    AP = 0
+    EP = 1
+
+
+#: Steering table: op class -> unit whose functional units execute it.
+#:
+#: All memory instructions and integer computation go to the AP; FP
+#: computation (including the FTOI cross move, which reads FP registers)
+#: goes to the EP.
+STEERING: dict[OpClass, Unit] = {
+    OpClass.IALU: Unit.AP,
+    OpClass.FALU: Unit.EP,
+    OpClass.LOAD_I: Unit.AP,
+    OpClass.LOAD_F: Unit.AP,
+    OpClass.STORE_I: Unit.AP,
+    OpClass.STORE_F: Unit.AP,
+    OpClass.BRANCH: Unit.AP,
+    OpClass.ITOF: Unit.AP,
+    OpClass.FTOI: Unit.EP,
+}
+
+
+def steer(op: OpClass) -> Unit:
+    """Return the unit that executes instructions of class ``op``."""
+    return STEERING[op]
+
+
+def is_load(op: OpClass) -> bool:
+    """True when ``op`` reads data memory."""
+    return op == OpClass.LOAD_I or op == OpClass.LOAD_F
+
+
+def is_store(op: OpClass) -> bool:
+    """True when ``op`` writes data memory."""
+    return op == OpClass.STORE_I or op == OpClass.STORE_F
+
+
+def is_mem(op: OpClass) -> bool:
+    """True when ``op`` accesses data memory."""
+    return op in MEMORY_OPS

@@ -1,0 +1,59 @@
+"""Architectural register namespace of the Alpha-like ISA model.
+
+The model exposes 32 integer and 32 floating-point architectural registers,
+mirroring the DEC Alpha. Integer registers live in the AP register file and
+FP registers in the EP register file. A single flat id space is used so that
+an instruction's source list needs no per-operand type tag:
+
+* ids ``0 .. 31``  -> integer registers ``r0 .. r31``
+* ids ``32 .. 63`` -> floating-point registers ``f0 .. f31``
+
+``r31`` and ``f31`` are hardwired zero registers (reads are always ready,
+writes are discarded), matching the Alpha convention.
+"""
+
+from __future__ import annotations
+
+NUM_INT_ARCH = 32
+NUM_FP_ARCH = 32
+NUM_ARCH = NUM_INT_ARCH + NUM_FP_ARCH
+
+FP_BASE = NUM_INT_ARCH
+
+#: Hardwired-zero architectural register ids.
+INT_ZERO = NUM_INT_ARCH - 1          # r31
+FP_ZERO = FP_BASE + NUM_FP_ARCH - 1  # f31
+ZERO_REGS = frozenset((INT_ZERO, FP_ZERO))
+
+
+def int_reg(n: int) -> int:
+    """Flat id of integer register ``r{n}``."""
+    if not 0 <= n < NUM_INT_ARCH:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Flat id of floating-point register ``f{n}``."""
+    if not 0 <= n < NUM_FP_ARCH:
+        raise ValueError(f"fp register index out of range: {n}")
+    return FP_BASE + n
+
+
+def is_fp(reg: int) -> bool:
+    """True when flat id ``reg`` names a floating-point register."""
+    return reg >= FP_BASE
+
+
+def is_zero(reg: int) -> bool:
+    """True when flat id ``reg`` is a hardwired zero register."""
+    return reg == INT_ZERO or reg == FP_ZERO
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r5`` / ``f12``) of a flat register id."""
+    if not 0 <= reg < NUM_ARCH:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_BASE}"

@@ -1,0 +1,29 @@
+"""Memory hierarchy: L1 D-cache, MSHRs, L1-L2 bus and L2 models."""
+
+from repro.memory.bus import Bus
+from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
+from repro.memory.hierarchy import (
+    S_BLOCKED,
+    S_HIT,
+    S_MISS,
+    S_SECONDARY,
+    MemorySystem,
+)
+from repro.memory.l2 import InfiniteL2
+from repro.memory.mshr import MSHRFile
+
+__all__ = [
+    "Bus",
+    "MSHRFile",
+    "L1Cache",
+    "InfiniteL2",
+    "MemorySystem",
+    "HIT",
+    "MISS",
+    "SECONDARY",
+    "CONFLICT",
+    "S_HIT",
+    "S_MISS",
+    "S_SECONDARY",
+    "S_BLOCKED",
+]

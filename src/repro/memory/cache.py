@@ -1,0 +1,89 @@
+"""Direct-mapped, write-back, write-allocate L1 data cache.
+
+Paper Figure 2: 64 KB, direct-mapped, 32-byte lines, write-back, 4 ports,
+lockup-free with 16 MSHRs, 1-cycle hit.
+
+The tag array is updated at *request* time and the line's data becomes
+available at *fill* time; accesses that hit the tag of an in-flight line are
+secondary misses (they merge and complete with the fill). A new miss mapping
+to a set whose resident line is still in flight is refused (``CONFLICT``):
+the MSHR pins the victim until the fill completes, so the requester retries —
+this is also what makes direct-mapped set conflicts between thread working
+sets expensive, the effect behind the paper's "miss ratios increase
+progressively [with threads]" observation.
+"""
+
+from __future__ import annotations
+
+# Access outcomes.
+HIT = 0
+MISS = 1        # primary miss: caller must obtain an MSHR + bus slot
+SECONDARY = 2   # merged into an in-flight fill of the same line
+CONFLICT = 3    # set is pinned by an in-flight fill of a different line
+
+
+class L1Cache:
+    """Tag/dirty-bit model of the L1 data cache (no data values)."""
+
+    def __init__(self, size_bytes: int, line_bytes: int):
+        if size_bytes % line_bytes:
+            raise ValueError("cache size must be a multiple of the line size")
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // line_bytes
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._set_mask = self.n_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        self.tags = [-1] * self.n_sets
+        self.dirty = bytearray(self.n_sets)
+        # fill completion cycle per set; 0 = line (if any) is resident
+        self.pending = [0] * self.n_sets
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def probe(self, addr: int, now: int) -> tuple[int, int, int]:
+        """Classify an access without changing state.
+
+        Returns ``(outcome, set_index, ready_cycle)``; ``ready_cycle`` is
+        meaningful for ``SECONDARY`` (the in-flight fill completion) and for
+        ``CONFLICT`` (when the set unpins).
+        """
+        line = addr >> self._line_shift
+        idx = line & self._set_mask
+        tag = line >> 0  # full line id kept as tag (simpler, equivalent)
+        pend = self.pending[idx]
+        if self.tags[idx] == tag:
+            if pend > now:
+                return SECONDARY, idx, pend
+            return HIT, idx, now
+        if pend > now:
+            return CONFLICT, idx, pend
+        return MISS, idx, 0
+
+    def install(self, addr: int, now: int, fill_cycle: int,
+                make_dirty: bool) -> bool:
+        """Begin a line fill for ``addr``: evict the victim and claim the set
+        until ``fill_cycle``. Returns True when the victim was dirty (the
+        caller must schedule a write-back)."""
+        line = addr >> self._line_shift
+        idx = line & self._set_mask
+        victim_dirty = self.tags[idx] != -1 and bool(self.dirty[idx])
+        self.tags[idx] = line
+        self.dirty[idx] = 1 if make_dirty else 0
+        self.pending[idx] = fill_cycle
+        return victim_dirty
+
+    def touch_write(self, addr: int) -> None:
+        """Mark the resident line dirty (write hit)."""
+        line = addr >> self._line_shift
+        idx = line & self._set_mask
+        if self.tags[idx] == line:
+            self.dirty[idx] = 1
+
+    def flush(self) -> None:
+        """Invalidate every line (used between experiment phases in tests)."""
+        for i in range(self.n_sets):
+            self.tags[i] = -1
+            self.dirty[i] = 0
+            self.pending[i] = 0

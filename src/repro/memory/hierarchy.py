@@ -1,0 +1,135 @@
+"""The memory-system facade used by the pipeline.
+
+Combines the L1 data cache, the MSHR file, the L1-L2 bus and the L2 into the
+three operations the core needs:
+
+* ``load(addr, now)``  — a data-cache read access,
+* ``store(addr, now)`` — a data-cache write access (performed by the store
+  drain after graduation; write-back, write-allocate),
+* per-cycle port arbitration (4 shared read/write ports).
+
+Timing model of a primary miss: the request leaves at ``now``, the line is
+ready to leave the L2 at ``now + l2_latency`` and then occupies the bus for
+``line_bytes / bus_bytes_per_cycle`` cycles behind earlier transfers; the
+fill (and every merged secondary miss) completes when the transfer ends.
+Dirty victims schedule a write-back transfer on the same bus.
+"""
+
+from __future__ import annotations
+
+from repro.memory.bus import Bus
+from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
+from repro.memory.l2 import InfiniteL2
+from repro.memory.mshr import MSHRFile
+
+# Status values returned to the core.
+S_HIT = 0
+S_MISS = 1        # primary miss; ready_cycle = fill completion
+S_SECONDARY = 2   # merged miss; ready_cycle = fill completion
+S_BLOCKED = 3     # structural: no MSHR, or target set pinned by a fill
+
+
+class MemorySystem:
+    """L1 + MSHRs + bus + L2, with port arbitration and traffic stats."""
+
+    def __init__(
+        self,
+        l1_bytes: int = 64 * 1024,
+        line_bytes: int = 32,
+        l1_ports: int = 4,
+        mshrs: int = 16,
+        l2_latency: int = 16,
+        bus_bytes_per_cycle: int = 16,
+        l1_hit_latency: int = 1,
+    ):
+        self.l1 = L1Cache(l1_bytes, line_bytes)
+        self.mshrs = MSHRFile(mshrs)
+        self.bus = Bus(bus_bytes_per_cycle, line_bytes)
+        self.l2 = InfiniteL2(l2_latency)
+        self.ports = l1_ports
+        self.hit_latency = l1_hit_latency
+        self._ports_used = 0
+        # traffic counters (reset together with pipeline stats)
+        self.fills = 0
+        self.writebacks = 0
+        self.blocked_requests = 0
+
+    # -- per-cycle arbitration -------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Reset the per-cycle port allocation."""
+        self._ports_used = 0
+
+    def port_available(self) -> bool:
+        return self._ports_used < self.ports
+
+    def claim_port(self) -> None:
+        self._ports_used += 1
+
+    # -- accesses ---------------------------------------------------------------
+
+    def _start_fill(self, addr: int, now: int, make_dirty: bool) -> int:
+        """Allocate MSHR + bus for a primary miss; returns the fill cycle."""
+        ready_at_l2 = self.l2.access(now)
+        fill_cycle = self.bus.schedule_line(ready_at_l2)
+        self.mshrs.allocate(fill_cycle)
+        victim_dirty = self.l1.install(addr, now, fill_cycle, make_dirty)
+        if victim_dirty:
+            self.bus.schedule_line(now)
+            self.writebacks += 1
+        self.fills += 1
+        return fill_cycle
+
+    def load(self, addr: int, now: int) -> tuple[int, int]:
+        """Perform a read access. Returns ``(status, data_ready_cycle)``.
+
+        The caller must have claimed a port. ``S_BLOCKED`` means the access
+        could not even start (retry next cycle; no state was changed).
+        """
+        outcome, _idx, when = self.l1.probe(addr, now)
+        if outcome == HIT:
+            return S_HIT, now + self.hit_latency
+        if outcome == SECONDARY:
+            return S_SECONDARY, when
+        if outcome == CONFLICT:
+            self.blocked_requests += 1
+            return S_BLOCKED, when
+        if not self.mshrs.available(now):
+            self.mshrs.note_failure()
+            self.blocked_requests += 1
+            return S_BLOCKED, 0
+        return S_MISS, self._start_fill(addr, now, make_dirty=False)
+
+    def store(self, addr: int, now: int) -> tuple[int, int]:
+        """Perform a write access (write-back, write-allocate).
+
+        Returns ``(status, write_done_cycle)``; on a miss the write completes
+        with the fill, at which point the line is dirty.
+        """
+        outcome, _idx, when = self.l1.probe(addr, now)
+        if outcome == HIT:
+            self.l1.touch_write(addr)
+            return S_HIT, now + self.hit_latency
+        if outcome == SECONDARY:
+            # the write merges with the in-flight fill and dirties the line
+            self.l1.touch_write(addr)
+            return S_SECONDARY, when
+        if outcome == CONFLICT:
+            self.blocked_requests += 1
+            return S_BLOCKED, when
+        if not self.mshrs.available(now):
+            self.mshrs.note_failure()
+            self.blocked_requests += 1
+            return S_BLOCKED, 0
+        return S_MISS, self._start_fill(addr, now, make_dirty=True)
+
+    # -- stats -------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.fills = 0
+        self.writebacks = 0
+        self.blocked_requests = 0
+        self.bus.reset_stats()
+
+    def bus_utilization(self, elapsed_cycles: int) -> float:
+        return self.bus.utilization(elapsed_cycles)

@@ -1,0 +1,25 @@
+"""The off-chip L2 cache model.
+
+Paper Figure 2: infinite, multibanked, 16-cycle hit (the experiments sweep
+this latency from 1 to 256 cycles). "Infinite" means every L1 miss hits in
+L2; "multibanked" means bank conflicts are negligible, so the only L2-side
+queueing happens on the shared L1-L2 bus, which is modelled separately.
+"""
+
+from __future__ import annotations
+
+
+class InfiniteL2:
+    """Constant-latency backing store; never misses, never conflicts."""
+
+    def __init__(self, latency: int):
+        if latency < 1:
+            raise ValueError("L2 latency must be >= 1 cycle")
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, now: int) -> int:
+        """Return the cycle at which the requested line is ready to leave the
+        L2 (i.e. ready for its bus transfer)."""
+        self.accesses += 1
+        return now + self.latency

@@ -1,0 +1,49 @@
+"""Miss Status Holding Registers.
+
+The L1 data cache is lockup-free with a finite set of MSHRs (16 in the
+paper's Figure 2). A primary miss allocates one MSHR until its line fill
+completes; secondary misses to an in-flight line merge into the existing
+entry and consume no extra MSHR or bus bandwidth (they still count as misses
+in the paper's miss-ratio metric). When all MSHRs are busy, new primary
+misses are refused and the requesting load retries (a structural stall,
+reported in the "other" issue-slot category).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MSHRFile:
+    """Finite pool of miss-status registers with time-based release."""
+
+    def __init__(self, count: int):
+        if count <= 0:
+            raise ValueError("MSHR count must be positive")
+        self.count = count
+        self.in_use = 0
+        self._releases: list[int] = []
+        self.alloc_failures = 0
+
+    def _drain(self, now: int) -> None:
+        releases = self._releases
+        while releases and releases[0] <= now:
+            heapq.heappop(releases)
+            self.in_use -= 1
+
+    def available(self, now: int) -> bool:
+        """True when at least one MSHR is free at cycle ``now``."""
+        self._drain(now)
+        return self.in_use < self.count
+
+    def allocate(self, release_cycle: int) -> None:
+        """Occupy one MSHR until ``release_cycle``."""
+        self.in_use += 1
+        heapq.heappush(self._releases, release_cycle)
+
+    def note_failure(self) -> None:
+        self.alloc_failures += 1
+
+    @property
+    def outstanding(self) -> int:
+        return self.in_use

@@ -1,0 +1,32 @@
+"""Simulation statistics and reporting."""
+
+from repro.stats.counters import (
+    N_SLOT_CATEGORIES,
+    SLOT_IDLE,
+    SLOT_NAMES,
+    SLOT_OTHER,
+    SLOT_USEFUL,
+    SLOT_WAIT_FU,
+    SLOT_WAIT_MEM,
+    SLOT_WRONG_PATH,
+    SimStats,
+)
+from repro.stats.report import format_run, format_table
+from repro.stats.tracing import InstRecord, PipelineTrace, Tracer
+
+__all__ = [
+    "SimStats",
+    "SLOT_USEFUL",
+    "SLOT_WRONG_PATH",
+    "SLOT_WAIT_MEM",
+    "SLOT_WAIT_FU",
+    "SLOT_OTHER",
+    "SLOT_IDLE",
+    "SLOT_NAMES",
+    "N_SLOT_CATEGORIES",
+    "format_run",
+    "format_table",
+    "Tracer",
+    "PipelineTrace",
+    "InstRecord",
+]

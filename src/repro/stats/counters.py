@@ -1,0 +1,184 @@
+"""Simulation statistics.
+
+Implements the paper's three headline metrics:
+
+* **IPC** — committed (right-path) instructions per elapsed cycle.
+* **Issue-slot breakdown** (Figure 3) — every cycle, each of the 4 AP and 4
+  EP slots is classified as useful work, wrong-path, wait-operand-from-
+  memory, wait-operand-from-FU, other (structural), or idle. The paper
+  plots wrong-path and idle as one category; we keep them separate
+  internally and merge in the report.
+* **Perceived load-miss latency** (sections 2, 3.2) — "the average number of
+  cycles that an instruction that uses a load value cannot issue although
+  there is a free issue slot", averaged over load *misses* (hits excluded),
+  separately for FP and integer loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opclass import Unit
+
+# Issue-slot categories (paper Figure 3).
+SLOT_USEFUL = 0
+SLOT_WRONG_PATH = 1
+SLOT_WAIT_MEM = 2
+SLOT_WAIT_FU = 3
+SLOT_OTHER = 4
+SLOT_IDLE = 5
+N_SLOT_CATEGORIES = 6
+
+SLOT_NAMES = ("useful", "wrong_path", "wait_mem", "wait_fu", "other", "idle")
+
+
+@dataclass
+class SimStats:
+    """Mutable counters filled by the pipeline; reset at the warm-up mark."""
+
+    cycles: int = 0
+    committed: int = 0
+    committed_per_thread: dict[int, int] = field(default_factory=dict)
+    fetched: int = 0
+    fetched_wrong_path: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    issued_wrong_path: int = 0
+    squashes: int = 0
+    squashed_instructions: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+
+    # memory behaviour (right-path accesses only). "Misses" are primary
+    # misses (line fetches); "merged" are secondary misses that coalesced
+    # into an in-flight fill (they wait on memory but fetch no new line).
+    loads_fp: int = 0
+    loads_int: int = 0
+    load_misses_fp: int = 0
+    load_misses_int: int = 0
+    load_merged_fp: int = 0
+    load_merged_int: int = 0
+    stores: int = 0
+    store_misses: int = 0
+    store_merged: int = 0
+
+    # perceived latency accounting
+    perceived_stall_fp: int = 0
+    perceived_stall_int: int = 0
+
+    # issue-slot breakdown: [unit][category] counts
+    slot_counts: list[list[int]] = field(
+        default_factory=lambda: [[0] * N_SLOT_CATEGORIES for _ in range(2)]
+    )
+
+    # decoupling diagnostics
+    slip_samples: int = 0
+    slip_total: int = 0
+
+    # memory-system totals copied in by the runner at snapshot time
+    bus_utilization: float = 0.0
+    line_fills: int = 0
+    writebacks: int = 0
+    mshr_alloc_failures: int = 0
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def load_miss_ratio(self) -> float:
+        """Fraction of loads that found their line absent (primary misses
+        plus merged secondary misses — the paper's Figure 1-c metric, which
+        therefore grows with latency and thread count)."""
+        loads = self.loads_fp + self.loads_int
+        misses = (
+            self.load_misses_fp + self.load_misses_int
+            + self.load_merged_fp + self.load_merged_int
+        )
+        return misses / loads if loads else 0.0
+
+    @property
+    def load_fill_ratio(self) -> float:
+        """Line fetches per load (primary misses only — the bus-traffic
+        view of the load miss stream)."""
+        loads = self.loads_fp + self.loads_int
+        return (self.load_misses_fp + self.load_misses_int) / loads if loads else 0.0
+
+    @property
+    def store_miss_ratio(self) -> float:
+        misses = self.store_misses + self.store_merged
+        return misses / self.stores if self.stores else 0.0
+
+    @property
+    def perceived_fp_latency(self) -> float:
+        """Average perceived latency of FP load misses (Fig. 1-a, 4-a).
+
+        The denominator includes merged (secondary) misses: they too made a
+        consumer wait on memory, just without fetching a new line.
+        """
+        misses = self.load_misses_fp + self.load_merged_fp
+        if not misses:
+            return 0.0
+        return self.perceived_stall_fp / misses
+
+    @property
+    def perceived_int_latency(self) -> float:
+        """Average perceived latency of integer load misses (Fig. 1-b)."""
+        misses = self.load_misses_int + self.load_merged_int
+        if not misses:
+            return 0.0
+        return self.perceived_stall_int / misses
+
+    @property
+    def perceived_load_latency(self) -> float:
+        """Average perceived latency over all load misses (Fig. 4-a)."""
+        misses = (
+            self.load_misses_fp + self.load_misses_int
+            + self.load_merged_fp + self.load_merged_int
+        )
+        if not misses:
+            return 0.0
+        return (self.perceived_stall_fp + self.perceived_stall_int) / misses
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.branch_mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def average_slip(self) -> float:
+        """Mean AP-ahead-of-EP distance, in instructions, sampled at EP issue."""
+        return self.slip_total / self.slip_samples if self.slip_samples else 0.0
+
+    def slot_fractions(self, unit: Unit) -> dict[str, float]:
+        """Issue-slot breakdown of one unit as fractions summing to 1."""
+        row = self.slot_counts[int(unit)]
+        total = sum(row)
+        if not total:
+            return {name: 0.0 for name in SLOT_NAMES}
+        return {name: row[i] / total for i, name in enumerate(SLOT_NAMES)}
+
+    def unit_utilization(self, unit: Unit) -> float:
+        """Fraction of a unit's issue slots doing useful work."""
+        row = self.slot_counts[int(unit)]
+        total = sum(row)
+        return row[SLOT_USEFUL] / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary used by reports and experiment tables."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "load_miss_ratio": self.load_miss_ratio,
+            "store_miss_ratio": self.store_miss_ratio,
+            "perceived_fp_latency": self.perceived_fp_latency,
+            "perceived_int_latency": self.perceived_int_latency,
+            "perceived_load_latency": self.perceived_load_latency,
+            "bus_utilization": self.bus_utilization,
+            "mispredict_rate": self.mispredict_rate,
+            "average_slip": self.average_slip,
+            "ap_slots": self.slot_fractions(Unit.AP),
+            "ep_slots": self.slot_fractions(Unit.EP),
+        }

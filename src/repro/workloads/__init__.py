@@ -1,0 +1,25 @@
+"""Synthetic SPEC FP95-like workloads (traces, profiles, multiprogramming)."""
+
+from repro.workloads.multiprogram import (
+    benchmark_trace,
+    multiprogram,
+    rotation,
+    single_program,
+)
+from repro.workloads.profiles import BENCH_ORDER, SPECFP95, BenchProfile, get_profile
+from repro.workloads.synth import KernelSynthesizer, synthesize
+from repro.workloads.wrongpath import WrongPathGenerator
+
+__all__ = [
+    "BenchProfile",
+    "SPECFP95",
+    "BENCH_ORDER",
+    "get_profile",
+    "synthesize",
+    "KernelSynthesizer",
+    "multiprogram",
+    "single_program",
+    "benchmark_trace",
+    "rotation",
+    "WrongPathGenerator",
+]

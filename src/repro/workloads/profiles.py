@@ -1,0 +1,207 @@
+"""SPEC FP95 benchmark profiles.
+
+The paper drives its simulator with ATOM-instrumented DEC Alpha traces of the
+ten SPEC FP95 programs (100 M instructions each). Those binaries, inputs and
+the ATOM tool are unavailable, so this reproduction substitutes a *profile*
+per benchmark: a parameter set for the synthetic kernel generator
+(:mod:`repro.workloads.synth`) that recreates the characteristics the paper's
+results actually depend on:
+
+* the AP/EP instruction mix (how the stream splits between the units),
+* the L1 miss behaviour of the address stream (working-set size, stride,
+  hot-region reuse, gather randomness),
+* the register dependence structure (FP chain depth/width → EP ILP;
+  loss-of-decoupling FTOI events → slip ceiling),
+* the static scheduling distance of integer loads (→ perceived int-load
+  latency, Fig. 1-b),
+* branch frequency and predictability.
+
+Calibration targets are taken from the paper's own figures: Fig. 1-c miss
+ratios, Fig. 1-a/1-b perceived latencies and the qualitative classification
+in section 2 (good decouplers: tomcatv, swim, mgrid, applu, apsi; low miss
+ratios: fpppp, turb3d; degraded: su2cor, wave5, hydro2d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Parameter set for the synthetic kernel generator.
+
+    Attributes are grouped by the behaviour they control; see module
+    docstring for the mapping to paper results.
+    """
+
+    name: str
+
+    # -- loop / control structure ------------------------------------------
+    #: loads issued per stream per iteration (loop unrolling degree)
+    unroll: int = 2
+    #: inner-loop trip count; the loop-exit branch mispredicts ~1/iters
+    iters: int = 64
+    #: fraction of extra data-dependent branches (taken with p=.5)
+    rand_branch_frac: float = 0.0
+
+    # -- memory behaviour ---------------------------------------------------
+    #: number of distinct streaming FP arrays read per iteration
+    n_streams: int = 3
+    #: element stride in bytes within each stream (8 = dense, 32 = line-sized)
+    elem_bytes: int = 8
+    #: streaming working set per array; pointers wrap at this size
+    ws_bytes: int = 4 * MB
+    #: fraction of FP loads that hit a small per-thread hot region
+    hot_frac: float = 0.4
+    #: hot region size (fits L1 alone; thrashes when many threads share L1)
+    hot_bytes: int = 4 * KB
+    #: hot accesses are skewed: this fraction lands in the first quarter of
+    #: the region (short reuse distance survives streaming-front evictions)
+    hot_skew: float = 0.92
+    #: store-target working set (resident for most codes; the streaming
+    #: stencil codes write-stream through multi-MB arrays instead)
+    store_ws_bytes: int = 4 * KB
+    #: fraction of FP loads whose address depends on an integer index load
+    gather_frac: float = 0.0
+    #: scheduling distance (iterations) between an index load and its use
+    index_dist: int = 2
+    #: index loads happen every Nth iteration (sparse index streams reuse
+    #: the previous index in between)
+    index_every: int = 1
+    #: working set of gather targets (randomly addressed)
+    gather_ws_bytes: int = 4 * MB
+
+    # -- computation structure ----------------------------------------------
+    #: FP ALU operations per FP load
+    fp_per_load: float = 1.4
+    #: dependent FALU ops per chain (serial latency = chain_depth * ep_lat)
+    chain_depth: int = 2
+    #: independent interleaved chains (EP ILP available to in-order issue)
+    n_chains: int = 4
+    #: FP stores per FP load
+    store_per_load: float = 0.30
+    #: integer ALU ops per FP load beyond pointer/counter updates
+    extra_ialu_per_load: float = 0.15
+
+    # -- cross-unit coupling --------------------------------------------------
+    #: FTOI loss-of-decoupling events per instruction (AP waits on EP)
+    lod_rate: float = 0.0
+    #: ITOF moves per instruction (AP feeds EP scalars; behaves like a load)
+    itof_rate: float = 0.004
+
+    def with_overrides(self, **kwargs) -> "BenchProfile":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def _p(name: str, **kwargs) -> BenchProfile:
+    return BenchProfile(name=name, **kwargs)
+
+
+#: The ten SPEC FP95 profiles, in the paper's figure order.
+#:
+#: Classification recap (paper section 2):
+#:   - hide latency well:   tomcatv, swim, mgrid, applu, apsi
+#:   - low miss ratio:      fpppp, turb3d
+#:   - degraded:            su2cor, wave5, hydro2d
+#:   - large int-load stalls: fpppp, su2cor, turb3d, wave5
+SPECFP95: dict[str, BenchProfile] = {
+    # Vectorised mesh generation: long dense streams, perfect decoupling,
+    # significant miss ratio, write-streams its result meshes.
+    "tomcatv": _p(
+        "tomcatv", n_streams=4, unroll=2, elem_bytes=8, ws_bytes=8 * MB,
+        hot_frac=0.75, hot_bytes=4 * KB, store_ws_bytes=4 * MB,
+        fp_per_load=1.4, chain_depth=2, n_chains=4, store_per_load=0.30,
+        iters=100,
+    ),
+    # Shallow-water stencil: highest miss ratio (wide stride defeats spatial
+    # locality), still decouples perfectly; the bandwidth hog of the suite.
+    "swim": _p(
+        "swim", n_streams=4, unroll=2, elem_bytes=16, ws_bytes=8 * MB,
+        hot_frac=0.70, hot_bytes=4 * KB, store_ws_bytes=8 * MB,
+        fp_per_load=1.3, chain_depth=2, n_chains=4, store_per_load=0.30,
+        iters=128,
+    ),
+    # Quantum chromodynamics: gather through index arrays -> integer loads on
+    # the AP critical path (large perceived int-load latency).
+    "su2cor": _p(
+        "su2cor", n_streams=3, unroll=2, elem_bytes=8, ws_bytes=4 * MB,
+        hot_frac=0.64, hot_bytes=4 * KB, gather_frac=0.06, index_dist=1,
+        gather_ws_bytes=32 * KB, fp_per_load=1.5, chain_depth=2, n_chains=4,
+        store_per_load=0.25, iters=80,
+    ),
+    # Navier-Stokes: dense streams, decent decoupling, high miss ratio,
+    # write-streams as it sweeps.
+    "hydro2d": _p(
+        "hydro2d", n_streams=4, unroll=2, elem_bytes=8, ws_bytes=8 * MB,
+        hot_frac=0.60, hot_bytes=4 * KB, gather_frac=0.03, index_dist=2,
+        gather_ws_bytes=32 * KB, store_ws_bytes=4 * MB, fp_per_load=1.4, chain_depth=2, n_chains=4,
+        store_per_load=0.35, iters=96,
+    ),
+    # Multigrid: mostly-resident fine grids, dense sweeps, excellent reuse.
+    "mgrid": _p(
+        "mgrid", n_streams=3, unroll=3, elem_bytes=8, ws_bytes=2 * MB,
+        hot_frac=0.82, hot_bytes=4 * KB, fp_per_load=1.6, chain_depth=3,
+        n_chains=4, store_per_load=0.20, iters=128,
+    ),
+    # Parabolic/elliptic PDE: blocked sweeps, good locality, good decoupling.
+    "applu": _p(
+        "applu", n_streams=3, unroll=2, elem_bytes=8, ws_bytes=4 * MB,
+        hot_frac=0.78, hot_bytes=4 * KB, fp_per_load=1.5, chain_depth=2,
+        n_chains=4, store_per_load=0.30, iters=100,
+    ),
+    # Turbulence FFT: tiny cache footprint but index-driven butterflies ->
+    # int loads used almost immediately (poor static scheduling).
+    "turb3d": _p(
+        "turb3d", n_streams=2, unroll=2, elem_bytes=8, ws_bytes=256 * KB,
+        hot_frac=0.85, hot_bytes=4 * KB, gather_frac=0.12, index_dist=0,
+        index_every=12,
+        gather_ws_bytes=12 * KB, fp_per_load=1.6, chain_depth=2, n_chains=4,
+        store_per_load=0.25, iters=64,
+    ),
+    # Mesoscale weather: moderate working set, decent decoupling.
+    "apsi": _p(
+        "apsi", n_streams=3, unroll=2, elem_bytes=8, ws_bytes=2 * MB,
+        hot_frac=0.72, hot_bytes=4 * KB,
+        fp_per_load=1.5, chain_depth=2, n_chains=4, store_per_load=0.25,
+        iters=80,
+    ),
+    # Gaussian quadrature: enormous basic blocks, working set fits L1, very
+    # frequent FP->int moves (the canonical loss-of-decoupling program) and
+    # integer loads scheduled right before their uses.
+    "fpppp": _p(
+        "fpppp", n_streams=2, unroll=4, elem_bytes=8, ws_bytes=10 * KB,
+        hot_frac=0.90, hot_bytes=6 * KB, gather_frac=0.10, index_dist=0,
+        gather_ws_bytes=10 * KB, store_ws_bytes=4 * KB,
+        fp_per_load=2.4, chain_depth=4, n_chains=3,
+        store_per_load=0.20, lod_rate=0.006, iters=256,
+    ),
+    # Plasma particle-in-cell: particle gather/scatter through index loads,
+    # significant miss ratio, short index scheduling distance.
+    "wave5": _p(
+        "wave5", n_streams=3, unroll=2, elem_bytes=8, ws_bytes=4 * MB,
+        hot_frac=0.62, hot_bytes=4 * KB, gather_frac=0.07, index_dist=1,
+        gather_ws_bytes=48 * KB, fp_per_load=1.3, chain_depth=2, n_chains=4,
+        store_per_load=0.35, iters=72,
+    ),
+}
+
+#: Benchmark order used in the paper's figures.
+BENCH_ORDER = [
+    "tomcatv", "swim", "su2cor", "hydro2d", "mgrid",
+    "applu", "turb3d", "apsi", "fpppp", "wave5",
+]
+
+
+def get_profile(name: str) -> BenchProfile:
+    """Look up a SPEC FP95 profile by benchmark name."""
+    try:
+        return SPECFP95[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(BENCH_ORDER)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Wrong-path instruction synthesis.
+
+Trace-driven simulators only know the correct execution path. Like the
+paper's simulator, ours models control speculation: after a mispredicted
+branch is fetched, the thread keeps fetching *somewhere* until the branch
+resolves in the AP. This module supplies that "somewhere": a deterministic
+stream of plausible instructions whose loads genuinely access the cache
+(occupying ports, MSHRs and bus bandwidth and polluting lines) so that
+speculation has its real costs.
+
+Wrong-path streams contain no branches (the mispredicted branch already pins
+the recovery point and the paper's AP permits only four unresolved branches)
+and no stores never reach memory anyway since wrong-path instructions are
+squashed before commit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opclass import OpClass
+from repro.workloads.synth import HOT_BASE
+
+_WP_PC_BASE = 0x7F0000
+_INST_BYTES = 4
+
+
+class WrongPathGenerator:
+    """Per-thread generator of synthetic wrong-path instructions."""
+
+    #: op mix of the wrong-path stream (load-heavy: mispredicted paths in FP
+    #: codes usually fall into an adjacent loop body)
+    _MIX = (
+        (OpClass.LOAD_F, 0.25),
+        (OpClass.IALU, 0.35),
+        (OpClass.FALU, 0.35),
+        (OpClass.LOAD_I, 0.05),
+    )
+
+    def __init__(self, seed: int, data_base: int = HOT_BASE,
+                 data_span: int = 2 * 1024):
+        self.rng = random.Random(seed)
+        self.data_base = data_base
+        self.data_span = data_span
+        self._pc = _WP_PC_BASE
+
+    def next_block(self, n: int) -> list[StaticInst]:
+        """Produce the next ``n`` wrong-path instructions."""
+        rng = self.rng
+        out = []
+        for _ in range(n):
+            x = rng.random()
+            acc = 0.0
+            op = OpClass.IALU
+            for candidate, w in self._MIX:
+                acc += w
+                if x < acc:
+                    op = candidate
+                    break
+            pc = self._pc
+            self._pc += _INST_BYTES
+            if self._pc > _WP_PC_BASE + 0x4000:
+                self._pc = _WP_PC_BASE
+            if op == OpClass.LOAD_F:
+                inst = StaticInst(
+                    pc, op, dest=32 + 8 + rng.randrange(16),
+                    srcs=(1,),
+                    addr=self.data_base + (rng.randrange(self.data_span) & ~7),
+                )
+            elif op == OpClass.LOAD_I:
+                inst = StaticInst(
+                    pc, op, dest=18 + rng.randrange(6), srcs=(2,),
+                    addr=self.data_base + (rng.randrange(self.data_span) & ~7),
+                )
+            elif op == OpClass.FALU:
+                d = 32 + rng.randrange(8)
+                inst = StaticInst(pc, op, dest=d, srcs=(d, 32 + 8 + rng.randrange(16)))
+            else:
+                d = 18 + rng.randrange(6)
+                inst = StaticInst(pc, op, dest=d, srcs=(d,))
+            out.append(inst)
+        return out

@@ -1,0 +1,101 @@
+"""Shared test fixtures and tiny-program builders.
+
+Hand-built micro-programs exercise precise pipeline behaviours; the builders
+here keep those tests readable. Addresses below 2**26 carry a zero region
+salt for thread 0, so micro-program addresses behave literally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+from repro.isa.instruction import StaticInst
+from repro.isa.opclass import OpClass
+from repro.isa.trace import Trace
+
+_PC_STEP = 4
+
+
+def prog(*insts: StaticInst, name: str = "test") -> Trace:
+    """Wrap hand-built instructions into a trace."""
+    return Trace(list(insts), name=name)
+
+
+class ProgramBuilder:
+    """Convenience builder assigning sequential PCs."""
+
+    def __init__(self, pc: int = 0x1000):
+        self.pc = pc
+        self.insts: list[StaticInst] = []
+
+    def emit(self, op, dest=None, srcs=(), addr=0, taken=False, target=0):
+        inst = StaticInst(self.pc, op, dest, tuple(srcs), addr, taken, target)
+        self.insts.append(inst)
+        self.pc += _PC_STEP
+        return inst
+
+    def ialu(self, dest=4, srcs=(4,)):
+        return self.emit(OpClass.IALU, dest=dest, srcs=srcs)
+
+    def falu(self, dest=36, srcs=(36,)):
+        return self.emit(OpClass.FALU, dest=dest, srcs=srcs)
+
+    def load_f(self, dest=40, base=2, addr=0x2000):
+        return self.emit(OpClass.LOAD_F, dest=dest, srcs=(base,), addr=addr)
+
+    def load_i(self, dest=8, base=2, addr=0x3000):
+        return self.emit(OpClass.LOAD_I, dest=dest, srcs=(base,), addr=addr)
+
+    def store_f(self, base=2, data=36, addr=0x4000):
+        return self.emit(OpClass.STORE_F, srcs=(base, data), addr=addr)
+
+    def store_i(self, base=2, data=4, addr=0x5000):
+        return self.emit(OpClass.STORE_I, srcs=(base, data), addr=addr)
+
+    def branch(self, taken=False, src=4, target=0):
+        return self.emit(OpClass.BRANCH, srcs=(src,), taken=taken,
+                         target=target or self.pc + 2 * _PC_STEP)
+
+    def nops(self, n: int):
+        """n independent integer ops on rotating scratch registers."""
+        for i in range(n):
+            self.ialu(dest=10 + (i % 8), srcs=(10 + (i % 8),))
+
+    def trace(self, name: str = "test") -> Trace:
+        return Trace(self.insts, name=name)
+
+
+@pytest.fixture
+def builder():
+    return ProgramBuilder()
+
+
+def small_config(**overrides) -> MachineConfig:
+    """A paper-parameter config unless overridden."""
+    return MachineConfig(**overrides)
+
+
+def run_program(
+    trace: Trace,
+    cfg: MachineConfig | None = None,
+    max_commits: int | None = None,
+    max_cycles: int = 100_000,
+    seed: int = 0,
+):
+    """Run one finite trace to completion on every context.
+
+    The program does not wrap, so ``stats.committed`` equals the number of
+    (right-path) instructions in the program exactly.
+    """
+    cfg = cfg or MachineConfig()
+    proc = Processor(cfg, [[trace]] * cfg.n_threads, seed=seed, wrap=False)
+    stats = proc.run(max_commits=max_commits, max_cycles=max_cycles)
+    return proc, stats
+
+
+def cycles_to_run(trace: Trace, cfg: MachineConfig | None = None) -> int:
+    """Cycles needed to commit the whole trace once."""
+    _proc, stats = run_program(trace)
+    return stats.cycles

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def fast_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig3"])
+        assert args.name == "fig3"
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--threads", "1", "--latency", "16",
+                     "--commits", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_run_non_decoupled(self, capsys):
+        assert main(["run", "--threads", "1", "--non-decoupled",
+                     "--commits", "1500"]) == 0
+        assert "non-decoupled" in capsys.readouterr().out
+
+    def test_bench_command(self, capsys):
+        assert main(["bench", "fpppp"]) == 0
+        assert "fpppp" in capsys.readouterr().out
+
+    def test_bench_unknown(self, capsys):
+        assert main(["bench", "gcc"]) == 2
+
+    def test_figure_command(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_ablation_command(self, capsys):
+        assert main(["ablation", "fetch_policy"]) == 0
+        assert "fetch policy" in capsys.readouterr().out

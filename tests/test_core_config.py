@@ -1,0 +1,93 @@
+"""Machine configuration: paper defaults, scaling, validation."""
+
+import pytest
+
+from repro.core.config import MachineConfig, PAPER_BASELINE, paper_config
+
+
+class TestPaperDefaults:
+    def test_figure2_parameters(self):
+        cfg = PAPER_BASELINE
+        assert cfg.ap_width == 4 and cfg.ep_width == 4
+        assert cfg.ap_latency == 1 and cfg.ep_latency == 4
+        assert cfg.fetch_threads == 2 and cfg.fetch_width == 8
+        assert cfg.max_unresolved_branches == 4
+        assert cfg.iq_size == 48
+        assert cfg.saq_size == 32
+        assert cfg.ap_regs == 64 and cfg.ep_regs == 96
+        assert cfg.bht_entries == 2048
+        assert cfg.l1_bytes == 64 * 1024
+        assert cfg.line_bytes == 32
+        assert cfg.l1_ports == 4
+        assert cfg.mshrs == 16
+        assert cfg.l2_latency == 16
+        assert cfg.bus_bytes_per_cycle == 16
+
+    def test_decoupled_by_default(self):
+        assert PAPER_BASELINE.decoupled
+
+
+class TestValidation:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_threads=0)
+
+    def test_rejects_tiny_register_files(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ap_regs=32)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l2_latency=0)
+
+    def test_rejects_unknown_fetch_policy(self):
+        with pytest.raises(ValueError):
+            MachineConfig(fetch_policy="priority")
+
+
+class TestScaling:
+    def test_identity_at_16_cycles(self):
+        cfg = PAPER_BASELINE.scaled_for_latency(16)
+        assert cfg.iq_size == 48
+        assert cfg.saq_size == 32
+        assert cfg.mshrs == 16
+
+    def test_no_downscaling_below_baseline(self):
+        cfg = PAPER_BASELINE.scaled_for_latency(1)
+        assert cfg.iq_size == 48
+        assert cfg.ap_regs == 64
+
+    def test_proportional_at_256(self):
+        cfg = PAPER_BASELINE.scaled_for_latency(256)
+        assert cfg.iq_size == 48 * 16
+        assert cfg.saq_size == 32 * 16
+        assert cfg.mshrs == 16 * 16
+        # register files scale their *rename* capacity beyond the 32
+        # architectural registers
+        assert cfg.ap_regs == 32 + (64 - 32) * 16
+        assert cfg.ep_regs == 32 + (96 - 32) * 16
+
+    def test_non_decoupled_helper(self):
+        assert not PAPER_BASELINE.non_decoupled().decoupled
+
+
+class TestPaperConfigHelper:
+    def test_mshrs_scale_even_unscaled_queues(self):
+        # see DESIGN.md: the MSHR file is treated as a scaled resource
+        cfg = paper_config(n_threads=2, l2_latency=64)
+        assert cfg.iq_size == 48           # queues stay at Figure-2 sizes
+        assert cfg.mshrs == 64             # 16 * (64/16)
+
+    def test_scale_with_latency_scales_queues(self):
+        cfg = paper_config(l2_latency=64, scale_with_latency=True)
+        assert cfg.iq_size == 192
+
+    def test_overrides_pass_through(self):
+        cfg = paper_config(n_threads=3, fetch_policy="rr", rob_size=99)
+        assert cfg.n_threads == 3
+        assert cfg.fetch_policy == "rr"
+        assert cfg.rob_size == 99
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_BASELINE.n_threads = 5

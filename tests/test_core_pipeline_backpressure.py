@@ -1,0 +1,113 @@
+"""Structural back-pressure: every finite resource must stall dispatch
+gracefully (never deadlock, never overflow)."""
+
+import pytest
+
+from conftest import ProgramBuilder, run_program
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+
+
+def fp_heavy(n=300):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.falu(dest=36 + (i % 2), srcs=(36 + (i % 2),))
+    return b.trace()
+
+
+def store_heavy(n=120):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.falu(dest=36, srcs=(36,))
+        b.store_f(base=2, data=36, addr=0x4000 + (i % 64) * 8)
+    return b.trace()
+
+
+class TestQueueBackpressure:
+    def test_tiny_iq_still_completes(self):
+        cfg = MachineConfig(iq_size=2, aq_size=2)
+        _p, stats = run_program(fp_heavy(), cfg)
+        assert stats.committed == 300
+
+    def test_tiny_iq_never_overflows(self):
+        cfg = MachineConfig(iq_size=2, aq_size=2)
+        proc = Processor(cfg, [[fp_heavy()]], wrap=False)
+        while not proc.finished():
+            proc.step()
+            assert len(proc.threads[0].iq) <= 2
+            assert len(proc.threads[0].aq) <= 2
+
+    def test_tiny_saq_still_completes(self):
+        cfg = MachineConfig(saq_size=1)
+        _p, stats = run_program(store_heavy(), cfg)
+        assert stats.committed == 240
+        assert stats.stores == 120
+
+    def test_tiny_rob_still_completes(self):
+        cfg = MachineConfig(rob_size=4)
+        _p, stats = run_program(fp_heavy(), cfg)
+        assert stats.committed == 300
+
+    def test_rob_bound_respected(self):
+        cfg = MachineConfig(rob_size=4)
+        proc = Processor(cfg, [[fp_heavy(100)]], wrap=False)
+        while not proc.finished():
+            proc.step()
+            assert len(proc.threads[0].rob) <= 4
+
+
+class TestRegisterBackpressure:
+    def test_minimal_register_files_still_complete(self):
+        cfg = MachineConfig(ap_regs=34, ep_regs=34)
+        _p, stats = run_program(fp_heavy(120), cfg)
+        assert stats.committed == 120
+
+    def test_free_lists_never_go_negative(self):
+        cfg = MachineConfig(ap_regs=34, ep_regs=34)
+        proc = Processor(cfg, [[store_heavy(60)]], wrap=False)
+        while not proc.finished():
+            proc.step()
+            t = proc.threads[0]
+            assert len(t.rename.free_ap) >= 0
+            assert len(t.rename.free_ep) >= 0
+        proc.check_invariants()
+
+
+class TestWidthLimits:
+    def test_dispatch_width_caps_throughput(self):
+        b = ProgramBuilder()
+        b.nops(1200)
+        tr = b.trace()
+        _p, s_wide = run_program(tr, MachineConfig(dispatch_width=8))
+        _p, s_narrow = run_program(tr, MachineConfig(dispatch_width=2))
+        assert s_narrow.ipc <= 2.05
+        assert s_wide.ipc > s_narrow.ipc
+
+    def test_commit_width_caps_throughput(self):
+        b = ProgramBuilder()
+        b.nops(1200)
+        _p, s = run_program(b.trace(), MachineConfig(commit_width=1))
+        assert s.ipc <= 1.05
+
+    def test_fetch_buffer_bound(self):
+        cfg = MachineConfig(fetch_buffer=4)
+        proc = Processor(cfg, [[fp_heavy(100)]], wrap=False)
+        while not proc.finished():
+            proc.step()
+            assert len(proc.threads[0].fetch_buf) <= 4
+
+
+class TestIssueSlotSharing:
+    def test_one_thread_cannot_exceed_unit_width(self):
+        b = ProgramBuilder()
+        b.nops(2000)  # independent AP ops
+        _p, stats = run_program(b.trace(), MachineConfig(ap_width=4))
+        assert stats.ipc <= 4.05
+
+    def test_narrower_ap_hurts_ap_bound_code(self):
+        b = ProgramBuilder()
+        b.nops(1500)
+        _p, s4 = run_program(b.trace(), MachineConfig())
+        _p, s2 = run_program(b.trace(), MachineConfig(ap_width=2))
+        assert s2.ipc < s4.ipc

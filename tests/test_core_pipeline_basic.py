@@ -1,0 +1,143 @@
+"""End-to-end micro-program tests of the pipeline's basic behaviours."""
+
+from conftest import ProgramBuilder, run_program
+
+from repro.core.config import MachineConfig
+from repro.isa.opclass import OpClass
+
+
+class TestCompletion:
+    def test_commits_every_instruction(self, builder):
+        builder.nops(50)
+        _proc, stats = run_program(builder.trace())
+        assert stats.committed == 50
+
+    def test_ipc_of_independent_integer_ops_near_ap_width(self, builder):
+        # 8 rotating registers -> plenty of ILP for the 4 AP slots, but
+        # dispatch width 8 / fetch share the limit; expect IPC close to 4
+        builder.nops(2000)
+        _proc, stats = run_program(builder.trace())
+        assert stats.ipc > 3.0
+
+    def test_serial_integer_chain_runs_at_one_per_cycle(self, builder):
+        for _ in range(300):
+            builder.ialu(dest=4, srcs=(4,))
+        _proc, stats = run_program(builder.trace())
+        assert 0.8 < stats.ipc <= 1.1
+
+    def test_serial_fp_chain_pays_four_cycle_latency(self, builder):
+        for _ in range(200):
+            builder.falu(dest=36, srcs=(36,))
+        _proc, stats = run_program(builder.trace())
+        # one dependent FALU every ep_latency cycles
+        assert 0.2 < stats.ipc < 0.30
+
+    def test_four_independent_fp_chains_fill_the_ep(self, builder):
+        for i in range(400):
+            reg = 36 + (i % 4)
+            builder.falu(dest=reg, srcs=(reg,))
+        _proc, stats = run_program(builder.trace())
+        assert stats.ipc > 0.85  # 4 chains x latency 4 = ~1/cycle
+
+
+class TestLoads:
+    def test_load_hit_latency_visible_to_consumer(self, builder):
+        # load-use chains: each iteration loads (always same line: hit)
+        # and the dependent FALU waits ~2 cycles for the data
+        for i in range(200):
+            builder.load_f(dest=40, base=2, addr=0x2000)
+            builder.falu(dest=36, srcs=(36, 40))
+        _proc, stats = run_program(builder.trace())
+        assert stats.loads_fp == 200
+        assert stats.load_misses_fp <= 1  # only the cold miss
+
+    def test_load_miss_counted(self, builder):
+        # distinct lines: every load a primary miss
+        for i in range(64):
+            builder.load_f(dest=40 + (i % 8), base=2, addr=0x2000 + i * 32)
+        _proc, stats = run_program(builder.trace())
+        assert stats.load_misses_fp == 64
+
+    def test_secondary_misses_merge(self, builder):
+        # four loads per line back to back: 1 primary + 3 merged
+        for i in range(16):
+            for j in range(4):
+                builder.load_f(dest=40 + j, base=2, addr=0x40000 + i * 32 + j * 8)
+        _proc, stats = run_program(builder.trace())
+        assert stats.load_misses_fp == 16
+        assert stats.load_merged_fp == 48
+
+
+class TestStores:
+    def test_store_performs_after_commit(self, builder):
+        builder.falu(dest=36, srcs=(36,))
+        builder.store_f(base=2, data=36, addr=0x4000)
+        builder.nops(30)
+        proc, stats = run_program(builder.trace())
+        assert stats.stores == 1
+        assert proc.threads[0].saq.q == type(proc.threads[0].saq.q)()  # drained
+
+    def test_store_load_forwarding(self, builder):
+        """A load to a pending store's address forwards without memory."""
+        builder.falu(dest=36, srcs=(36,))
+        builder.store_f(base=2, data=36, addr=0x4000)
+        builder.load_f(dest=40, base=2, addr=0x4000)
+        builder.nops(20)
+        _proc, stats = run_program(builder.trace())
+        # forwarded: neither a hit access nor a miss was recorded as a miss
+        assert stats.load_misses_fp == 0
+        assert stats.committed == 23
+
+    def test_store_data_dependency_blocks_commit(self, builder):
+        """A store cannot graduate before its data is computed."""
+        # long FP chain produces the store data
+        for _ in range(8):
+            builder.falu(dest=36, srcs=(36,))
+        builder.store_f(base=2, data=36, addr=0x4000)
+        _proc, stats = run_program(builder.trace())
+        assert stats.committed == 9
+        assert stats.stores == 1
+
+    def test_int_store(self, builder):
+        builder.ialu(dest=4, srcs=(4,))
+        builder.store_i(base=2, data=4, addr=0x5000)
+        builder.nops(20)
+        _proc, stats = run_program(builder.trace())
+        assert stats.stores == 1
+
+
+class TestCrossUnitMoves:
+    def test_itof_feeds_ep(self, builder):
+        builder.ialu(dest=4, srcs=(4,))
+        builder.emit(OpClass.ITOF, dest=36, srcs=(4,))
+        builder.falu(dest=37, srcs=(37, 36))
+        builder.nops(10)
+        _proc, stats = run_program(builder.trace())
+        assert stats.committed == 13
+
+    def test_ftoi_feeds_ap(self, builder):
+        builder.falu(dest=36, srcs=(36,))
+        builder.emit(OpClass.FTOI, dest=4, srcs=(36,))
+        builder.ialu(dest=5, srcs=(4,))
+        builder.nops(10)
+        _proc, stats = run_program(builder.trace())
+        assert stats.committed == 13
+
+
+class TestZeroRegisters:
+    def test_zero_sources_always_ready(self, builder):
+        for _ in range(20):
+            builder.ialu(dest=4, srcs=(31,))     # r31 is hardwired zero
+            builder.falu(dest=36, srcs=(63,))    # f31 too
+        _proc, stats = run_program(builder.trace())
+        assert stats.committed == 40
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self, builder):
+        builder.nops(500)
+        tr = builder.trace()
+        _p1, s1 = run_program(tr, seed=3)
+        _p2, s2 = run_program(tr, seed=3)
+        assert s1.cycles == s2.cycles
+        assert s1.committed == s2.committed

@@ -1,0 +1,112 @@
+"""Decoupling behaviour: slip, latency hiding, the non-decoupled baseline.
+
+These micro-programs isolate the paper's core mechanism: the AP slipping
+ahead of the EP through the instruction queue, starting misses early.
+"""
+
+from conftest import ProgramBuilder, run_program
+
+from repro.core.config import MachineConfig
+from repro.isa.opclass import OpClass
+
+
+def loadchain_program(n_iters: int = 120, line_stride: int = 32):
+    """A miss-heavy load->FP-use loop: the canonical decoupled pattern."""
+    b = ProgramBuilder()
+    for i in range(n_iters):
+        b.ialu(dest=2, srcs=(2,))                      # pointer update
+        b.load_f(dest=40 + (i % 8), base=2, addr=0x100000 + i * line_stride)
+        b.falu(dest=36, srcs=(36, 40 + (i % 8)))        # consumer chain
+        b.falu(dest=37, srcs=(37, 40 + (i % 8)))
+    return b.trace()
+
+
+class TestSlip:
+    def test_decoupled_builds_slip(self):
+        _proc, stats = run_program(loadchain_program(), MachineConfig())
+        assert stats.average_slip > 10
+
+    def test_non_decoupled_has_minimal_slip(self):
+        cfg = MachineConfig(decoupled=False)
+        _proc, stats = run_program(loadchain_program(), cfg)
+        assert stats.average_slip < 10
+
+    def test_slip_bounded_by_instruction_queue(self):
+        big = MachineConfig(iq_size=96, aq_size=96)
+        small = MachineConfig(iq_size=8, aq_size=96)
+        _p1, s_big = run_program(loadchain_program(), big)
+        _p2, s_small = run_program(loadchain_program(), small)
+        assert s_big.average_slip > s_small.average_slip
+
+
+class TestLatencyHiding:
+    def test_decoupled_beats_non_decoupled_on_misses(self):
+        tr = loadchain_program()
+        _p, s_dec = run_program(tr, MachineConfig())
+        _p, s_non = run_program(tr, MachineConfig(decoupled=False))
+        assert s_dec.ipc > 1.5 * s_non.ipc
+
+    def test_decoupled_perceived_latency_much_smaller(self):
+        tr = loadchain_program()
+        _p, s_dec = run_program(tr, MachineConfig())
+        _p, s_non = run_program(tr, MachineConfig(decoupled=False))
+        assert s_non.perceived_fp_latency > 4 * max(0.5, s_dec.perceived_fp_latency)
+
+    def test_decoupled_ipc_insensitive_to_l2_latency(self):
+        """The paper's headline: decoupling flattens the latency curve."""
+        tr = loadchain_program(240)
+        ipc = {}
+        for lat in (1, 16, 64):
+            cfg = MachineConfig(l2_latency=lat, mshrs=64,
+                                iq_size=192, aq_size=192, rob_size=512,
+                                ep_regs=256, ap_regs=128)
+            _p, s = run_program(tr, cfg)
+            ipc[lat] = s.ipc
+        assert ipc[64] > 0.65 * ipc[1]
+
+    def test_non_decoupled_ipc_collapses_with_latency(self):
+        tr = loadchain_program(240)
+        ipc = {}
+        for lat in (1, 64):
+            cfg = MachineConfig(l2_latency=lat, decoupled=False, mshrs=64)
+            _p, s = run_program(tr, cfg)
+            ipc[lat] = s.ipc
+        assert ipc[64] < 0.5 * ipc[1]
+
+
+class TestLossOfDecoupling:
+    def _lod_program(self, with_lod: bool, n: int = 100):
+        b = ProgramBuilder()
+        for i in range(n):
+            b.ialu(dest=2, srcs=(2,))
+            b.load_f(dest=40, base=2, addr=0x200000 + i * 32)
+            b.falu(dest=36, srcs=(36, 40))
+            if with_lod:
+                # FP value flows back into the next address computation
+                b.emit(OpClass.FTOI, dest=5, srcs=(36,))
+                b.ialu(dest=2, srcs=(5,))
+        return b.trace()
+
+    def test_ftoi_into_address_kills_slip(self):
+        _p, s_lod = run_program(self._lod_program(True))
+        _p, s_free = run_program(self._lod_program(False))
+        assert s_lod.average_slip < s_free.average_slip / 2
+
+    def test_ftoi_into_address_kills_throughput(self):
+        _p, s_lod = run_program(self._lod_program(True))
+        _p, s_free = run_program(self._lod_program(False))
+        assert s_lod.ipc < s_free.ipc
+
+
+class TestUnifiedQueueSemantics:
+    def test_non_decoupled_head_blocks_everything(self):
+        """In the unified queue a stalled FALU blocks younger AP work."""
+        b = ProgramBuilder()
+        b.load_f(dest=40, base=2, addr=0x300000)   # cold miss
+        b.falu(dest=36, srcs=(36, 40))             # blocks on the miss
+        b.nops(40)                                  # independent AP work
+        tr = b.trace()
+        _p, s_non = run_program(tr, MachineConfig(decoupled=False))
+        _p, s_dec = run_program(tr, MachineConfig())
+        # decoupled lets the 40 ALU ops flow around the stalled FALU
+        assert s_dec.cycles < s_non.cycles

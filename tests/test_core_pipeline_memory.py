@@ -1,0 +1,119 @@
+"""Pipeline <-> memory-system interactions: misses, MSHRs, ports, bus."""
+
+from conftest import ProgramBuilder, run_program
+
+from repro.core.config import MachineConfig
+
+
+def streaming_trace(n_lines=150, consumers=True):
+    b = ProgramBuilder()
+    for i in range(n_lines):
+        b.ialu(dest=2, srcs=(2,))
+        b.load_f(dest=40 + (i % 8), base=2, addr=0x500000 + i * 32)
+        if consumers:
+            b.falu(dest=36, srcs=(36, 40 + (i % 8)))
+    return b.trace()
+
+
+class TestMissBehaviour:
+    def test_all_distinct_lines_miss(self):
+        _p, stats = run_program(streaming_trace())
+        assert stats.load_misses_fp == 150
+        assert stats.load_merged_fp == 0
+
+    def test_line_fills_match_misses(self):
+        proc, stats = run_program(streaming_trace())
+        assert stats.line_fills == stats.load_misses_fp
+
+    def test_higher_latency_means_fewer_ipc_without_decoupling(self):
+        tr = streaming_trace()
+        ipcs = {}
+        for lat in (1, 64):
+            cfg = MachineConfig(l2_latency=lat, decoupled=False)
+            _p, s = run_program(tr, cfg)
+            ipcs[lat] = s.ipc
+        assert ipcs[64] < ipcs[1]
+
+
+class TestMSHRLimit:
+    def test_few_mshrs_throttle_mlp(self):
+        tr = streaming_trace(200, consumers=False)
+        cfg_many = MachineConfig(l2_latency=64, mshrs=32)
+        cfg_few = MachineConfig(l2_latency=64, mshrs=2)
+        _p, s_many = run_program(tr, cfg_many)
+        _p, s_few = run_program(tr, cfg_few)
+        assert s_many.ipc > 1.5 * s_few.ipc
+
+    def test_mshr_failures_reported(self):
+        tr = streaming_trace(200, consumers=False)
+        cfg = MachineConfig(l2_latency=64, mshrs=2)
+        _p, stats = run_program(tr, cfg)
+        assert stats.mshr_alloc_failures > 0
+
+
+class TestPorts:
+    def test_port_limit_caps_load_rate(self):
+        """More loads per cycle than ports -> structural serialisation."""
+        b = ProgramBuilder()
+        for i in range(400):
+            # 8-independent loads per 'cycle group', same warm line
+            b.load_f(dest=40 + (i % 8), base=2, addr=0x2000)
+        tr = b.trace()
+        _p, s4 = run_program(tr, MachineConfig(l1_ports=4))
+        _p, s1 = run_program(tr, MachineConfig(l1_ports=1))
+        assert s4.ipc > 2 * s1.ipc
+
+
+class TestBusAccounting:
+    def test_bus_utilization_grows_with_traffic(self):
+        light = streaming_trace(30)
+        heavy = streaming_trace(300)
+        _p, s_light = run_program(light)
+        _p, s_heavy = run_program(heavy)
+        assert s_heavy.bus_utilization >= s_light.bus_utilization
+
+    def test_writebacks_counted(self):
+        b = ProgramBuilder()
+        # dirty a line, wait until the write drains, then evict it
+        b.falu(dest=36, srcs=(36,))
+        b.store_f(base=2, data=36, addr=0x600000)
+        b.nops(60)  # let the store commit and perform its write
+        for i in range(4):
+            b.load_f(dest=40, base=2, addr=0x600000 + (i + 1) * 64 * 1024)
+        b.nops(40)
+        proc, stats = run_program(b.trace())
+        assert stats.writebacks >= 1
+
+
+class TestPerceivedLatencyMetric:
+    def test_hits_not_counted(self):
+        b = ProgramBuilder()
+        b.load_f(dest=40, base=2, addr=0x2000)  # cold miss warms the line
+        b.nops(60)
+        for _ in range(50):
+            b.load_f(dest=41, base=2, addr=0x2000)
+            b.falu(dest=36, srcs=(36, 41))
+        _p, stats = run_program(b.trace())
+        # consumers of hits contribute nothing; only the cold miss counts
+        assert stats.load_misses_fp == 1
+        assert stats.perceived_fp_latency < 25
+
+    def test_immediate_consumer_perceives_miss(self):
+        b = ProgramBuilder()
+        for i in range(60):
+            b.load_f(dest=40, base=2, addr=0x700000 + i * 32)
+            b.falu(dest=36, srcs=(36, 40))  # right behind the load
+        cfg = MachineConfig(l2_latency=64, decoupled=False, mshrs=64)
+        _p, stats = run_program(b.trace(), cfg)
+        # non-decoupled, consumer adjacent: perceives most of the ~66 cycles
+        assert stats.perceived_fp_latency > 30
+
+    def test_distant_consumer_perceives_little(self):
+        b = ProgramBuilder()
+        for i in range(60):
+            b.load_f(dest=40 + (i % 4), base=2, addr=0x700000 + i * 32)
+            b.nops(12)  # static scheduling distance
+            b.falu(dest=36, srcs=(36, 40 + (i % 4)))
+        cfg = MachineConfig(l2_latency=16, decoupled=False)
+        _p, stats = run_program(b.trace(), cfg)
+        assert stats.perceived_fp_latency < 16

@@ -1,0 +1,113 @@
+"""Simultaneous multithreading: shared issue slots, fetch policy, scaling."""
+
+from conftest import ProgramBuilder, run_program
+
+from repro.core.config import MachineConfig
+from repro.core.processor import Processor
+
+
+def fp_chain_trace(n=400):
+    """Serial FP chain: single-thread IPC ~0.25, perfect SMT fodder."""
+    b = ProgramBuilder()
+    for _ in range(n):
+        b.falu(dest=36, srcs=(36,))
+    return b.trace()
+
+
+def mixed_trace(n=300):
+    b = ProgramBuilder()
+    for i in range(n):
+        b.ialu(dest=4 + (i % 4), srcs=(4 + (i % 4),))
+        b.falu(dest=36 + (i % 2), srcs=(36 + (i % 2),))
+    return b.trace()
+
+
+class TestThroughputScaling:
+    def test_threads_hide_fu_latency(self):
+        """The paper's core SMT observation: more contexts fill the EP."""
+        tr = fp_chain_trace()
+        ipcs = {}
+        for nt in (1, 2, 4):
+            cfg = MachineConfig(n_threads=nt)
+            proc = Processor(cfg, [[tr]] * nt)
+            stats = proc.run(max_commits=nt * 350)
+            ipcs[nt] = stats.ipc
+        assert ipcs[2] > 1.8 * ipcs[1]
+        assert ipcs[4] > 3.2 * ipcs[1]
+
+    def test_ep_width_caps_fp_throughput(self):
+        tr = fp_chain_trace()
+        cfg = MachineConfig(n_threads=6)
+        proc = Processor(cfg, [[tr]] * 6)
+        stats = proc.run(max_commits=6 * 350)
+        assert stats.ipc <= 4.05  # 4 EP slots
+
+    def test_per_thread_commits_balanced(self):
+        tr = mixed_trace()
+        cfg = MachineConfig(n_threads=4)
+        proc = Processor(cfg, [[tr]] * 4)
+        stats = proc.run(max_commits=4 * 400)
+        counts = list(stats.committed_per_thread.values())
+        assert min(counts) > 0.6 * max(counts)
+
+
+class TestFetchPolicy:
+    def test_two_threads_fetch_per_cycle(self):
+        tr = mixed_trace()
+        cfg = MachineConfig(n_threads=4, fetch_threads=2)
+        proc = Processor(cfg, [[tr]] * 4)
+        proc.run(max_commits=800)
+        # with 4 runnable threads and 2 I-cache ports, someone always fetches
+        assert proc.stats.fetched > 0
+
+    def test_icount_no_worse_than_rr(self):
+        tr = mixed_trace()
+        results = {}
+        for policy in ("icount", "rr"):
+            cfg = MachineConfig(n_threads=4, fetch_policy=policy)
+            proc = Processor(cfg, [[tr]] * 4)
+            stats = proc.run(max_commits=4 * 400)
+            results[policy] = stats.ipc
+        assert results["icount"] >= 0.9 * results["rr"]
+
+
+class TestIsolation:
+    def test_thread_registers_are_private(self):
+        """Two threads writing the same architectural registers never
+        interfere: each commits its full program."""
+        tr = mixed_trace(200)
+        cfg = MachineConfig(n_threads=2)
+        proc = Processor(cfg, [[tr], [tr]], wrap=False)
+        stats = proc.run(max_cycles=50_000)
+        assert stats.committed == 800
+        assert stats.committed_per_thread == {0: 400, 1: 400}
+
+    def test_thread_data_addresses_salted(self):
+        tr = mixed_trace(10)
+        cfg = MachineConfig(n_threads=2)
+        proc = Processor(cfg, [[tr], [tr]])
+        a0 = proc.threads[0].salted(0x2000)
+        a1 = proc.threads[1].salted(0x2000)
+        assert a0 != a1
+        # different 64 MB spaces: never the same cache line
+        assert a0 >> 26 != a1 >> 26
+
+    def test_hot_region_salt_tiles_sets(self):
+        from repro.workloads.synth import HOT_BASE
+        tr = mixed_trace(10)
+        cfg = MachineConfig(n_threads=4)
+        proc = Processor(cfg, [[tr]] * 4)
+        sets = {
+            proc.threads[t].salted(HOT_BASE) % (64 * 1024)
+            for t in range(4)
+        }
+        assert len(sets) == 4  # four distinct skew-zone starts
+
+    def test_validation_rejects_mismatched_playlists(self):
+        tr = mixed_trace(10)
+        cfg = MachineConfig(n_threads=2)
+        try:
+            Processor(cfg, [[tr]])
+            assert False
+        except ValueError:
+            pass

@@ -1,0 +1,78 @@
+"""Bimodal 2-bit branch history table."""
+
+import pytest
+
+from repro.core.predictor import BimodalBHT
+
+
+class TestCounterDynamics:
+    def test_initially_weakly_taken(self):
+        bht = BimodalBHT(64)
+        assert bht.predict(0x1000) is True
+
+    def test_trains_not_taken(self):
+        bht = BimodalBHT(64)
+        bht.update(0x1000, taken=False)
+        bht.update(0x1000, taken=False)
+        assert bht.predict(0x1000) is False
+
+    def test_saturates_high(self):
+        bht = BimodalBHT(64)
+        for _ in range(10):
+            bht.update(0x1000, taken=True)
+        bht.update(0x1000, taken=False)   # one NT does not flip a saturated T
+        assert bht.predict(0x1000) is True
+
+    def test_saturates_low(self):
+        bht = BimodalBHT(64)
+        for _ in range(10):
+            bht.update(0x1000, taken=False)
+        bht.update(0x1000, taken=True)
+        assert bht.predict(0x1000) is False
+
+    def test_hysteresis(self):
+        bht = BimodalBHT(64)
+        bht.update(0x1000, taken=False)  # 2 -> 1: now predicts NT
+        bht.update(0x1000, taken=True)   # 1 -> 2: back to T
+        assert bht.predict(0x1000) is True
+
+
+class TestIndexing:
+    def test_distinct_branches_distinct_counters(self):
+        bht = BimodalBHT(64)
+        for _ in range(3):
+            bht.update(0x1000, taken=False)
+        assert bht.predict(0x1000) is False
+        # 0x1040 >> 2 differs modulo 64: an untouched entry
+        assert bht.predict(0x1040) is True
+
+    def test_aliasing_wraps_table(self):
+        bht = BimodalBHT(64)
+        for _ in range(3):
+            bht.update(0x0, taken=False)
+        # pc 64*4 indexes the same entry in a 64-entry table
+        assert bht.predict(64 * 4) is False
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalBHT(100)
+
+
+class TestLoopBehaviour:
+    def test_loop_branch_mispredicts_once_per_exit(self):
+        """T^(n-1) NT pattern: one mispredict per loop exit."""
+        bht = BimodalBHT(2048)
+        mispredicts = 0
+        for _trip in range(10):
+            for i in range(20):
+                taken = i != 19
+                if bht.predict_and_update(0x4000, taken) != taken:
+                    mispredicts += 1
+        assert mispredicts <= 11  # ~1 per exit (+ possible cold start)
+
+    def test_hit_counter(self):
+        bht = BimodalBHT(64)
+        bht.predict_and_update(0x10, True)
+        bht.predict_and_update(0x10, True)
+        assert bht.hits == 2
+        assert bht.lookups == 2

@@ -1,0 +1,111 @@
+"""Instruction queues and the store address queue."""
+
+import pytest
+
+from repro.core.queues import InstQueue, StoreAddressQueue
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opclass import OpClass
+
+
+def dyn(seq, op=OpClass.IALU, addr=0):
+    return DynInst(StaticInst(0, op, dest=4, srcs=(4,), addr=addr), 0, seq, False)
+
+
+def store(seq, addr):
+    return DynInst(
+        StaticInst(0, OpClass.STORE_F, srcs=(2, 36), addr=addr), 0, seq, False
+    )
+
+
+class TestInstQueue:
+    def test_fifo_order(self):
+        q = InstQueue(4)
+        a, b = dyn(1), dyn(2)
+        q.push(a)
+        q.push(b)
+        assert q.head() is a
+        assert q.pop_head() is a
+        assert q.pop_head() is b
+
+    def test_capacity(self):
+        q = InstQueue(2)
+        q.push(dyn(1))
+        q.push(dyn(2))
+        assert q.full
+        with pytest.raises(OverflowError):
+            q.push(dyn(3))
+
+    def test_squash_tail(self):
+        q = InstQueue(8)
+        for s in (1, 2, 5, 9):
+            q.push(dyn(s))
+        assert q.squash_tail(2) == 2
+        assert len(q) == 2
+        assert [d.seq for d in q.q] == [1, 2]
+
+    def test_squash_tail_noop_when_all_older(self):
+        q = InstQueue(8)
+        q.push(dyn(1))
+        assert q.squash_tail(5) == 0
+        assert len(q) == 1
+
+    def test_bool(self):
+        q = InstQueue(2)
+        assert not q
+        q.push(dyn(1))
+        assert q
+
+    def test_min_capacity(self):
+        with pytest.raises(ValueError):
+            InstQueue(0)
+
+
+class TestStoreAddressQueue:
+    def test_find_older_match(self):
+        q = StoreAddressQueue(8)
+        s1, s2 = store(1, 0x100), store(5, 0x100)
+        q.push(s1)
+        q.push(s2)
+        # a load with seq 7 sees the *youngest older* store
+        assert q.find_older_match(0x100, 7) is s2
+        # a load between them only sees the first
+        assert q.find_older_match(0x100, 3) is s1
+
+    def test_no_match_for_other_address(self):
+        q = StoreAddressQueue(8)
+        q.push(store(1, 0x100))
+        assert q.find_older_match(0x108, 7) is None
+
+    def test_no_match_for_older_load(self):
+        q = StoreAddressQueue(8)
+        q.push(store(5, 0x100))
+        assert q.find_older_match(0x100, 3) is None
+
+    def test_release_head_clears_membership(self):
+        q = StoreAddressQueue(8)
+        q.push(store(1, 0x100))
+        q.release_head()
+        assert q.find_older_match(0x100, 9) is None
+        assert len(q) == 0
+
+    def test_duplicate_addresses_counted(self):
+        q = StoreAddressQueue(8)
+        q.push(store(1, 0x100))
+        q.push(store(2, 0x100))
+        q.release_head()
+        assert q.find_older_match(0x100, 9) is not None
+
+    def test_squash_tail_clears_membership(self):
+        q = StoreAddressQueue(8)
+        q.push(store(1, 0x100))
+        q.push(store(9, 0x200))
+        assert q.squash_tail(1) == 1
+        assert q.find_older_match(0x200, 99) is None
+        assert q.find_older_match(0x100, 99) is not None
+
+    def test_capacity(self):
+        q = StoreAddressQueue(1)
+        q.push(store(1, 0x100))
+        assert q.full
+        with pytest.raises(OverflowError):
+            q.push(store(2, 0x200))

@@ -1,0 +1,122 @@
+"""Register renaming: mapping, free lists, undo, invariants."""
+
+import pytest
+
+from repro.core.rename import RenameFile
+from repro.isa.registers import FP_BASE, FP_ZERO, INT_ZERO
+
+
+def make_rename():
+    return RenameFile(ap_regs=64, ep_regs=96)
+
+
+class TestInitialState:
+    def test_identity_mapping(self):
+        r = make_rename()
+        assert r.lookup(0) == 0
+        assert r.lookup(31) == 31
+        assert r.lookup(32) == 64      # f0 -> first EP physical
+        assert r.lookup(63) == 64 + 31
+
+    def test_free_list_sizes(self):
+        r = make_rename()
+        assert len(r.free_ap) == 64 - 32
+        assert len(r.free_ep) == 96 - 32
+
+    def test_all_initially_ready(self):
+        r = make_rename()
+        assert all(r.ready)
+
+
+class TestRename:
+    def test_dest_allocates_new_physical(self):
+        r = make_rename()
+        p, old = r.rename_dest(5)
+        assert old == 5
+        assert p != 5
+        assert r.lookup(5) == p
+        assert not r.ready[p]
+
+    def test_fp_dest_uses_ep_file(self):
+        r = make_rename()
+        p, _old = r.rename_dest(FP_BASE + 3)
+        assert p >= 64
+
+    def test_zero_register_dest_discarded(self):
+        r = make_rename()
+        assert r.rename_dest(INT_ZERO) == (-1, -1)
+        assert r.rename_dest(FP_ZERO) == (-1, -1)
+
+    def test_srcs_renamed_through_map(self):
+        r = make_rename()
+        p, _ = r.rename_dest(4)
+        assert r.srcs_of((4,)) == (p,)
+
+    def test_srcs_drop_zero_registers(self):
+        r = make_rename()
+        assert r.srcs_of((INT_ZERO, 4, FP_ZERO)) == (r.lookup(4),)
+
+    def test_exhaustion(self):
+        r = make_rename()
+        for _ in range(32):
+            assert r.can_rename_dest(7)
+            r.rename_dest(7)
+        assert not r.can_rename_dest(7)
+        # other file unaffected
+        assert r.can_rename_dest(FP_BASE + 1)
+
+    def test_zero_dest_always_renameable(self):
+        r = make_rename()
+        for _ in range(40):
+            r.rename_dest(7) if r.can_rename_dest(7) else None
+        assert r.can_rename_dest(INT_ZERO)
+
+
+class TestUndoAndFree:
+    def test_undo_restores_mapping(self):
+        r = make_rename()
+        p, old = r.rename_dest(9)
+        r.undo_rename(9, p, old)
+        assert r.lookup(9) == old
+
+    def test_walkback_order_restores_multiple_writers(self):
+        r = make_rename()
+        p1, o1 = r.rename_dest(9)
+        p2, o2 = r.rename_dest(9)
+        # undo youngest-first, as the ROB walk does
+        r.undo_rename(9, p2, o2)
+        assert r.lookup(9) == p1
+        r.undo_rename(9, p1, o1)
+        assert r.lookup(9) == o1 == 9
+
+    def test_free_returns_to_correct_file(self):
+        r = make_rename()
+        pa, _ = r.rename_dest(3)
+        pe, _ = r.rename_dest(FP_BASE + 3)
+        n_ap, n_ep = len(r.free_ap), len(r.free_ep)
+        r.free(pa)
+        r.free(pe)
+        assert len(r.free_ap) == n_ap + 1
+        assert len(r.free_ep) == n_ep + 1
+
+    def test_free_negative_is_noop(self):
+        r = make_rename()
+        n = len(r.free_ap)
+        r.free(-1)
+        assert len(r.free_ap) == n
+
+    def test_invariants_after_churn(self):
+        r = make_rename()
+        history = []
+        for i in range(200):
+            arch = (i * 7) % 31
+            if not r.can_rename_dest(arch):
+                # free the oldest old mapping, as commit would
+                arch_c, p_c, old_c = history.pop(0)
+                r.free(old_c)
+            p, old = r.rename_dest(arch)
+            history.append((arch, p, old))
+            if len(history) > 20:
+                _a, _p, old_c = history.pop(0)
+                r.free(old_c)
+            r.check_invariants()

@@ -1,0 +1,66 @@
+"""StaticInst / DynInst behaviour."""
+
+from repro.isa.instruction import DynInst, ST_DISPATCHED, StaticInst
+from repro.isa.opclass import OpClass, Unit
+
+
+class TestStaticInst:
+    def test_presteered_unit(self):
+        assert StaticInst(0, OpClass.IALU).unit is Unit.AP
+        assert StaticInst(0, OpClass.FALU).unit is Unit.EP
+        assert StaticInst(0, OpClass.LOAD_F).unit is Unit.AP
+
+    def test_load_predicates(self):
+        ld = StaticInst(0, OpClass.LOAD_F, dest=40, srcs=(2,), addr=0x100)
+        assert ld.is_load and not ld.is_store and not ld.is_branch
+
+    def test_store_predicates(self):
+        st = StaticInst(0, OpClass.STORE_I, srcs=(2, 4), addr=0x100)
+        assert st.is_store and not st.is_load
+
+    def test_branch_predicates(self):
+        br = StaticInst(0, OpClass.BRANCH, srcs=(4,), taken=True, target=0x40)
+        assert br.is_branch and br.taken and br.target == 0x40
+
+    def test_defaults(self):
+        inst = StaticInst(0x1000, OpClass.IALU, dest=4)
+        assert inst.srcs == ()
+        assert inst.addr == 0
+        assert not inst.taken
+
+
+class TestDynInst:
+    def _mk(self, wrong_path=False):
+        return DynInst(
+            StaticInst(0, OpClass.LOAD_F, dest=40, srcs=(2,), addr=8),
+            thread=1, seq=7, wrong_path=wrong_path,
+        )
+
+    def test_initial_state(self):
+        d = self._mk()
+        assert d.state == ST_DISPATCHED
+        assert d.pdest == -1
+        assert d.pdata == -1
+        assert d.old_pdest == -1
+        assert not d.load_miss
+        assert not d.store_ready
+        assert not d.mem_done
+
+    def test_identity_fields(self):
+        d = self._mk()
+        assert d.thread == 1
+        assert d.seq == 7
+        assert d.unit is Unit.AP
+        assert d.op is OpClass.LOAD_F
+
+    def test_wrong_path_flag(self):
+        assert self._mk(wrong_path=True).wrong_path
+        assert not self._mk().wrong_path
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        d = self._mk()
+        try:
+            d.not_a_field = 1
+            assert False, "DynInst must use __slots__"
+        except AttributeError:
+            pass

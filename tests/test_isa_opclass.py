@@ -1,0 +1,69 @@
+"""Steering and op-class predicates (paper section 2 steering rule)."""
+
+import pytest
+
+from repro.isa.opclass import (
+    LOAD_OPS,
+    MEMORY_OPS,
+    STORE_OPS,
+    OpClass,
+    Unit,
+    is_load,
+    is_mem,
+    is_store,
+    steer,
+)
+
+
+class TestSteering:
+    def test_integer_alu_goes_to_ap(self):
+        assert steer(OpClass.IALU) is Unit.AP
+
+    def test_fp_alu_goes_to_ep(self):
+        assert steer(OpClass.FALU) is Unit.EP
+
+    def test_all_memory_ops_go_to_ap(self):
+        # "memory instructions ... are all sent to the AP"
+        for op in MEMORY_OPS:
+            assert steer(op) is Unit.AP
+
+    def test_branches_go_to_ap(self):
+        assert steer(OpClass.BRANCH) is Unit.AP
+
+    def test_itof_executes_on_ap(self):
+        # reads an integer register: AP-side producer of an EP value
+        assert steer(OpClass.ITOF) is Unit.AP
+
+    def test_ftoi_executes_on_ep(self):
+        # reads an FP register: the loss-of-decoupling event
+        assert steer(OpClass.FTOI) is Unit.EP
+
+    def test_every_op_class_is_steered(self):
+        for op in OpClass:
+            assert steer(op) in (Unit.AP, Unit.EP)
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("op", [OpClass.LOAD_I, OpClass.LOAD_F])
+    def test_loads(self, op):
+        assert is_load(op)
+        assert is_mem(op)
+        assert not is_store(op)
+
+    @pytest.mark.parametrize("op", [OpClass.STORE_I, OpClass.STORE_F])
+    def test_stores(self, op):
+        assert is_store(op)
+        assert is_mem(op)
+        assert not is_load(op)
+
+    @pytest.mark.parametrize(
+        "op", [OpClass.IALU, OpClass.FALU, OpClass.BRANCH, OpClass.ITOF, OpClass.FTOI]
+    )
+    def test_non_memory(self, op):
+        assert not is_mem(op)
+        assert not is_load(op)
+        assert not is_store(op)
+
+    def test_memory_ops_partition(self):
+        assert LOAD_OPS | STORE_OPS == MEMORY_OPS
+        assert not (LOAD_OPS & STORE_OPS)

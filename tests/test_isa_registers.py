@@ -1,0 +1,58 @@
+"""Architectural register namespace."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+class TestFlatIds:
+    def test_int_regs_are_low_ids(self):
+        assert R.int_reg(0) == 0
+        assert R.int_reg(31) == 31
+
+    def test_fp_regs_are_offset(self):
+        assert R.fp_reg(0) == R.FP_BASE == 32
+        assert R.fp_reg(31) == 63
+
+    def test_int_reg_range_checked(self):
+        with pytest.raises(ValueError):
+            R.int_reg(32)
+        with pytest.raises(ValueError):
+            R.int_reg(-1)
+
+    def test_fp_reg_range_checked(self):
+        with pytest.raises(ValueError):
+            R.fp_reg(32)
+
+    def test_is_fp(self):
+        assert not R.is_fp(0)
+        assert not R.is_fp(31)
+        assert R.is_fp(32)
+        assert R.is_fp(63)
+
+
+class TestZeroRegisters:
+    def test_zero_ids(self):
+        assert R.is_zero(R.INT_ZERO)
+        assert R.is_zero(R.FP_ZERO)
+        assert R.INT_ZERO == 31
+        assert R.FP_ZERO == 63
+
+    def test_non_zero_ids(self):
+        assert not R.is_zero(0)
+        assert not R.is_zero(30)
+        assert not R.is_zero(32)
+
+
+class TestNames:
+    def test_int_names(self):
+        assert R.reg_name(0) == "r0"
+        assert R.reg_name(31) == "r31"
+
+    def test_fp_names(self):
+        assert R.reg_name(32) == "f0"
+        assert R.reg_name(63) == "f31"
+
+    def test_name_range_checked(self):
+        with pytest.raises(ValueError):
+            R.reg_name(64)

@@ -1,0 +1,65 @@
+"""L1-L2 bus model: FIFO scheduling, bandwidth, utilization."""
+
+import pytest
+
+from repro.memory.bus import Bus
+
+
+class TestScheduling:
+    def test_line_occupies_two_cycles_at_paper_width(self):
+        bus = Bus(bytes_per_cycle=16, line_bytes=32)
+        assert bus.cycles_per_line == 2
+        assert bus.schedule_line(earliest=10) == 12
+
+    def test_back_to_back_transfers_queue(self):
+        bus = Bus(16, 32)
+        assert bus.schedule_line(0) == 2
+        assert bus.schedule_line(0) == 4
+        assert bus.schedule_line(0) == 6
+
+    def test_idle_gap_is_not_reused(self):
+        bus = Bus(16, 32)
+        bus.schedule_line(0)            # busy 0-2
+        assert bus.schedule_line(100) == 102  # starts when ready, not at 2
+
+    def test_earliest_respected_under_contention(self):
+        bus = Bus(16, 32)
+        bus.schedule_line(0)           # busy until 2
+        assert bus.schedule_line(1) == 4  # waits for the bus, not earliest
+
+    def test_wider_bus_single_cycle(self):
+        bus = Bus(32, 32)
+        assert bus.cycles_per_line == 1
+
+    def test_narrow_bus(self):
+        bus = Bus(4, 32)
+        assert bus.cycles_per_line == 8
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(0, 32)
+
+
+class TestUtilization:
+    def test_utilization_counts_busy_cycles(self):
+        bus = Bus(16, 32)
+        bus.schedule_line(0)
+        bus.schedule_line(0)
+        assert bus.utilization(8) == pytest.approx(0.5)
+
+    def test_utilization_caps_at_one(self):
+        bus = Bus(16, 32)
+        for _ in range(100):
+            bus.schedule_line(0)
+        assert bus.utilization(10) == 1.0
+
+    def test_reset_stats_keeps_schedule(self):
+        bus = Bus(16, 32)
+        bus.schedule_line(0)
+        bus.reset_stats()
+        assert bus.busy_since_reset() == 0
+        # the bus is still busy until cycle 2 though:
+        assert bus.schedule_line(0) == 4
+
+    def test_zero_elapsed(self):
+        assert Bus(16, 32).utilization(0) == 0.0

@@ -1,0 +1,98 @@
+"""Direct-mapped write-back L1: hits, misses, secondary merges, conflicts."""
+
+import pytest
+
+from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
+
+
+def make_cache():
+    return L1Cache(size_bytes=64 * 1024, line_bytes=32)
+
+
+class TestGeometry:
+    def test_sets(self):
+        c = make_cache()
+        assert c.n_sets == 2048
+
+    def test_line_of(self):
+        c = make_cache()
+        assert c.line_of(0) == 0
+        assert c.line_of(31) == 0
+        assert c.line_of(32) == 1
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            L1Cache(size_bytes=100, line_bytes=32)
+
+    def test_sets_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            L1Cache(size_bytes=96, line_bytes=32)
+
+
+class TestProbeInstall:
+    def test_cold_miss(self):
+        c = make_cache()
+        outcome, _idx, _when = c.probe(0x1000, now=0)
+        assert outcome == MISS
+
+    def test_hit_after_fill_completes(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=10, make_dirty=False)
+        assert c.probe(0x1000, now=10)[0] == HIT
+        assert c.probe(0x1008, now=10)[0] == HIT  # same line
+
+    def test_secondary_while_fill_pending(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=10, make_dirty=False)
+        outcome, _idx, when = c.probe(0x1008, now=5)
+        assert outcome == SECONDARY
+        assert when == 10
+
+    def test_conflict_when_set_pinned(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=10, make_dirty=False)
+        # same set (64 KB apart), different tag, while fill in flight
+        outcome, _idx, when = c.probe(0x1000 + 64 * 1024, now=5)
+        assert outcome == CONFLICT
+        assert when == 10
+
+    def test_eviction_after_fill(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=1, make_dirty=False)
+        other = 0x1000 + 64 * 1024
+        assert c.probe(other, now=5)[0] == MISS
+        c.install(other, now=5, fill_cycle=6, make_dirty=False)
+        assert c.probe(0x1000, now=10)[0] == MISS  # victim gone
+
+
+class TestDirtyTracking:
+    def test_clean_victim_needs_no_writeback(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=1, make_dirty=False)
+        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6,
+                         make_dirty=False) is False
+
+    def test_dirty_victim_reports_writeback(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=1, make_dirty=True)
+        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is True
+
+    def test_write_hit_sets_dirty(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=1, make_dirty=False)
+        c.touch_write(0x1008)
+        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is True
+
+    def test_touch_write_ignores_non_resident(self):
+        c = make_cache()
+        c.touch_write(0x9000)  # nothing resident: no crash, no dirty bit
+        c.install(0x9000, now=0, fill_cycle=1, make_dirty=False)
+        assert c.install(0x9000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is False
+
+
+class TestFlush:
+    def test_flush_invalidates(self):
+        c = make_cache()
+        c.install(0x1000, now=0, fill_cycle=1, make_dirty=True)
+        c.flush()
+        assert c.probe(0x1000, now=5)[0] == MISS

@@ -1,0 +1,132 @@
+"""MemorySystem facade: end-to-end miss timing, MSHRs, bus, ports."""
+
+import pytest
+
+from repro.memory.hierarchy import (
+    S_BLOCKED,
+    S_HIT,
+    S_MISS,
+    S_SECONDARY,
+    MemorySystem,
+)
+
+
+def make_mem(**kw):
+    defaults = dict(
+        l1_bytes=64 * 1024, line_bytes=32, l1_ports=4, mshrs=16,
+        l2_latency=16, bus_bytes_per_cycle=16, l1_hit_latency=1,
+    )
+    defaults.update(kw)
+    return MemorySystem(**defaults)
+
+
+class TestLoadTiming:
+    def test_cold_miss_latency(self):
+        mem = make_mem()
+        status, ready = mem.load(0x1000, now=0)
+        assert status == S_MISS
+        # L2 latency (16) + line transfer (2 bus cycles)
+        assert ready == 18
+
+    def test_hit_after_fill(self):
+        mem = make_mem()
+        mem.load(0x1000, now=0)
+        status, ready = mem.load(0x1008, now=20)
+        assert status == S_HIT
+        assert ready == 21  # 1-cycle hit
+
+    def test_secondary_merges_into_fill(self):
+        mem = make_mem()
+        _status, fill = mem.load(0x1000, now=0)
+        status, ready = mem.load(0x1010, now=3)
+        assert status == S_SECONDARY
+        assert ready == fill
+
+    def test_secondary_consumes_no_bus(self):
+        mem = make_mem()
+        mem.load(0x1000, now=0)
+        before = mem.bus.busy_cycles
+        mem.load(0x1008, now=1)
+        assert mem.bus.busy_cycles == before
+
+    def test_bus_contention_serialises_fills(self):
+        mem = make_mem()
+        _s, r1 = mem.load(0x1000, now=0)
+        _s, r2 = mem.load(0x2000, now=0)
+        _s, r3 = mem.load(0x3000, now=0)
+        assert r1 == 18
+        assert r2 == 20  # waits for the first transfer
+        assert r3 == 22
+
+
+class TestStructuralLimits:
+    def test_mshr_exhaustion_blocks(self):
+        mem = make_mem(mshrs=2)
+        assert mem.load(0x1000, now=0)[0] == S_MISS
+        assert mem.load(0x2000, now=0)[0] == S_MISS
+        status, _ = mem.load(0x3000, now=0)
+        assert status == S_BLOCKED
+        assert mem.mshrs.alloc_failures == 1
+
+    def test_mshr_released_at_fill(self):
+        mem = make_mem(mshrs=1)
+        _s, fill = mem.load(0x1000, now=0)
+        assert mem.load(0x2000, now=fill)[0] == S_MISS
+
+    def test_pinned_set_conflict_blocks(self):
+        mem = make_mem()
+        mem.load(0x1000, now=0)
+        status, retry = mem.load(0x1000 + 64 * 1024, now=1)
+        assert status == S_BLOCKED
+        assert retry == 18
+
+    def test_ports_per_cycle(self):
+        mem = make_mem(l1_ports=2)
+        mem.begin_cycle()
+        assert mem.port_available()
+        mem.claim_port()
+        mem.claim_port()
+        assert not mem.port_available()
+        mem.begin_cycle()
+        assert mem.port_available()
+
+
+class TestStores:
+    def test_store_hit_marks_dirty_and_writes_back_on_eviction(self):
+        mem = make_mem()
+        mem.load(0x1000, now=0)              # bring line in (clean)
+        mem.store(0x1008, now=20)            # dirty it
+        before = mem.writebacks
+        mem.load(0x1000 + 64 * 1024, now=30)  # evict the dirty victim
+        assert mem.writebacks == before + 1
+
+    def test_store_miss_allocates(self):
+        mem = make_mem()
+        status, done = mem.store(0x7000, now=0)
+        assert status == S_MISS
+        assert done == 18
+        # write-allocate: the line is now present (and dirty)
+        assert mem.load(0x7008, now=20)[0] == S_HIT
+
+    def test_store_secondary_merges(self):
+        mem = make_mem()
+        mem.store(0x7000, now=0)
+        status, _done = mem.store(0x7008, now=1)
+        assert status == S_SECONDARY
+
+    def test_writeback_consumes_bus(self):
+        mem = make_mem()
+        mem.store(0x7000, now=0)                # line dirty at fill
+        busy_before = mem.bus.busy_cycles
+        mem.load(0x7000 + 64 * 1024, now=30)    # evicts dirty line
+        assert mem.bus.busy_cycles == busy_before + 2 + 2  # fill + wb
+
+
+class TestStatsReset:
+    def test_reset_clears_traffic_counters(self):
+        mem = make_mem()
+        mem.load(0x1000, now=0)
+        mem.reset_stats()
+        assert mem.fills == 0
+        assert mem.writebacks == 0
+        assert mem.bus_utilization(100) == 0.0

@@ -1,0 +1,27 @@
+"""Infinite L2 model."""
+
+import pytest
+
+from repro.memory.l2 import InfiniteL2
+
+
+class TestInfiniteL2:
+    def test_constant_latency(self):
+        l2 = InfiniteL2(16)
+        assert l2.access(0) == 16
+        assert l2.access(100) == 116
+
+    def test_never_misses(self):
+        l2 = InfiniteL2(1)
+        for t in range(50):
+            assert l2.access(t) == t + 1
+
+    def test_counts_accesses(self):
+        l2 = InfiniteL2(16)
+        for t in range(7):
+            l2.access(t)
+        assert l2.accesses == 7
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            InfiniteL2(0)

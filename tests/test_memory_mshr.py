@@ -1,0 +1,52 @@
+"""MSHR file: allocation, time-based release, exhaustion."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_initially_available(self):
+        m = MSHRFile(4)
+        assert m.available(0)
+        assert m.outstanding == 0
+
+    def test_exhaustion(self):
+        m = MSHRFile(2)
+        m.allocate(release_cycle=10)
+        m.allocate(release_cycle=10)
+        assert not m.available(5)
+
+    def test_release_frees_entry(self):
+        m = MSHRFile(1)
+        m.allocate(release_cycle=10)
+        assert not m.available(9)
+        assert m.available(10)
+        assert m.outstanding == 0
+
+    def test_releases_in_time_order(self):
+        m = MSHRFile(2)
+        m.allocate(release_cycle=20)
+        m.allocate(release_cycle=5)
+        assert m.available(5)       # the earlier one frees first
+        m.allocate(release_cycle=30)
+        assert not m.available(10)
+
+    def test_failure_counter(self):
+        m = MSHRFile(1)
+        m.note_failure()
+        m.note_failure()
+        assert m.alloc_failures == 2
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_many_outstanding(self):
+        m = MSHRFile(16)
+        for i in range(16):
+            m.allocate(release_cycle=100 + i)
+        assert m.outstanding == 16
+        assert not m.available(99)
+        assert m.available(100)
+        assert m.outstanding == 15

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import ProgramBuilder
+from repro.core.config import MachineConfig
+from repro.core.predictor import BimodalBHT
+from repro.core.processor import Processor
+from repro.core.queues import InstQueue, StoreAddressQueue
+from repro.core.rename import RenameFile
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opclass import OpClass
+from repro.memory.cache import HIT, MISS, SECONDARY, CONFLICT, L1Cache
+from repro.workloads.synth import fold, FOLD_WINDOW
+
+
+# ------------------------------------------------------------------ cache model
+
+@settings(max_examples=60, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=1 << 20).map(lambda a: a & ~7),
+        min_size=1, max_size=200,
+    )
+)
+def test_cache_agrees_with_reference_model(addrs):
+    """The tag array must behave exactly like a dict-based direct-mapped
+    reference model when every fill completes instantly."""
+    cache = L1Cache(4096, 32)  # 128 sets: small, conflict-prone
+    reference: dict[int, int] = {}
+    now = 0
+    for addr in addrs:
+        now += 1
+        line = addr >> 5
+        idx = line % 128
+        outcome, _i, _w = cache.probe(addr, now)
+        expected_hit = reference.get(idx) == line
+        assert (outcome == HIT) == expected_hit
+        if outcome == MISS:
+            cache.install(addr, now, fill_cycle=now, make_dirty=False)
+            reference[idx] = line
+
+
+@settings(max_examples=40, deadline=None)
+@given(offs=st.lists(st.integers(min_value=0, max_value=1 << 24), max_size=60))
+def test_fold_preserves_window_and_region(offs):
+    base = 0x10000000 + 16 * 1024
+    for off in offs:
+        addr = fold(base, off)
+        assert addr >> 26 == base >> 26
+        set_off = addr % (64 * 1024)
+        base_off = base % (64 * 1024)
+        assert base_off <= set_off < base_off + FOLD_WINDOW
+
+
+# ------------------------------------------------------------------ queues
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(0, 1000)),
+            st.tuples(st.just("pop"), st.just(0)),
+            st.tuples(st.just("squash"), st.integers(0, 1000)),
+        ),
+        max_size=80,
+    )
+)
+def test_inst_queue_stays_ordered_and_bounded(ops):
+    q = InstQueue(16)
+    model: deque = deque()
+    seq = 0
+    for kind, _arg in ops:
+        if kind == "push" and not q.full:
+            seq += 1
+            d = DynInst(StaticInst(0, OpClass.IALU, dest=4), 0, seq, False)
+            q.push(d)
+            model.append(seq)
+        elif kind == "pop" and q:
+            assert q.pop_head().seq == model.popleft()
+        elif kind == "squash":
+            cut = seq - 3
+            q.squash_tail(cut)
+            while model and model[-1] > cut:
+                model.pop()
+        assert len(q) == len(model)
+        assert len(q) <= 16
+        seqs = [d.seq for d in q.q]
+        assert seqs == sorted(seqs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stores=st.lists(
+        st.tuples(st.integers(0, 30).map(lambda x: 0x1000 + x * 8),),
+        min_size=1, max_size=20,
+    ),
+    probe=st.integers(0, 30).map(lambda x: 0x1000 + x * 8),
+)
+def test_saq_match_agrees_with_linear_scan(stores, probe):
+    q = StoreAddressQueue(64)
+    entries = []
+    for seq, (addr,) in enumerate(stores, start=1):
+        d = DynInst(
+            StaticInst(0, OpClass.STORE_F, srcs=(2, 36), addr=addr), 0, seq, False
+        )
+        q.push(d)
+        entries.append(d)
+    load_seq = len(stores) + 1
+    expected = None
+    for d in entries:
+        if d.seq < load_seq and d.static.addr == probe:
+            expected = d
+    assert q.find_older_match(probe, load_seq) is expected
+
+
+# ------------------------------------------------------------------ rename
+
+@settings(max_examples=40, deadline=None)
+@given(
+    archs=st.lists(st.integers(0, 30), min_size=1, max_size=30),
+)
+def test_rename_walkback_is_exact_inverse(archs):
+    """Renaming a sequence then undoing it youngest-first must restore the
+    map table and free lists exactly."""
+    r = RenameFile(64, 96)
+    before_map = list(r.map)
+    before_free = (list(r.free_ap), list(r.free_ep))
+    done = []
+    for arch in archs:
+        if not r.can_rename_dest(arch):
+            break
+        p, old = r.rename_dest(arch)
+        done.append((arch, p, old))
+    for arch, p, old in reversed(done):
+        r.undo_rename(arch, p, old)
+        r.free(p)
+    assert r.map == before_map
+    assert sorted(r.free_ap) == sorted(before_free[0])
+    assert sorted(r.free_ep) == sorted(before_free[1])
+    r.check_invariants()
+
+
+# ------------------------------------------------------------------ predictor
+
+@settings(max_examples=40, deadline=None)
+@given(outcomes=st.lists(st.booleans(), max_size=100))
+def test_bht_counters_stay_saturated(outcomes):
+    bht = BimodalBHT(64)
+    for taken in outcomes:
+        bht.predict_and_update(0x1000, taken)
+        assert 0 <= bht.table[(0x1000 >> 2) & 63] <= 3
+
+
+# ------------------------------------------------------------------ pipeline
+
+_OP_POOL = st.sampled_from(["ialu", "falu", "load", "store", "branch"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(_OP_POOL, min_size=1, max_size=120), data=st.data())
+def test_random_programs_commit_exactly_and_hold_invariants(ops, data):
+    """Any random well-formed program commits every instruction exactly once
+    and never corrupts rename/queue ordering invariants."""
+    b = ProgramBuilder()
+    for i, kind in enumerate(ops):
+        if kind == "ialu":
+            b.ialu(dest=4 + (i % 6), srcs=(4 + ((i + 1) % 6),))
+        elif kind == "falu":
+            b.falu(dest=36 + (i % 6), srcs=(36 + ((i + 1) % 6),))
+        elif kind == "load":
+            b.load_f(dest=40 + (i % 8), base=2,
+                     addr=0x2000 + (i % 50) * 32)
+        elif kind == "store":
+            b.store_f(base=2, data=36 + (i % 6), addr=0x4000 + (i % 20) * 8)
+        else:
+            b.branch(taken=data.draw(st.booleans()), src=4)
+    tr = b.trace()
+    cfg = MachineConfig()
+    proc = Processor(cfg, [[tr]], wrap=False)
+    stats = proc.run(max_cycles=60_000)
+    assert stats.committed == len(tr)
+    proc.check_invariants()
+    # all stores eventually drained
+    assert stats.stores == sum(1 for k in ops if k == "store")

@@ -1,0 +1,107 @@
+"""Statistics: derived-metric arithmetic and report formatting."""
+
+from repro.isa.opclass import Unit
+from repro.stats.counters import (
+    SLOT_IDLE,
+    SLOT_USEFUL,
+    SLOT_WAIT_FU,
+    SLOT_WAIT_MEM,
+    SimStats,
+)
+from repro.stats.report import format_run, format_table
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = SimStats(cycles=100, committed=250)
+        assert s.ipc == 2.5
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_load_miss_ratio_includes_merged(self):
+        s = SimStats(loads_fp=80, loads_int=20,
+                     load_misses_fp=10, load_merged_fp=30)
+        assert s.load_miss_ratio == 0.4
+
+    def test_load_fill_ratio_is_primary_only(self):
+        s = SimStats(loads_fp=80, loads_int=20,
+                     load_misses_fp=10, load_merged_fp=30)
+        assert s.load_fill_ratio == 0.1
+
+    def test_store_miss_ratio(self):
+        s = SimStats(stores=50, store_misses=5, store_merged=5)
+        assert s.store_miss_ratio == 0.2
+
+    def test_perceived_fp_latency_averages_over_misses(self):
+        s = SimStats(load_misses_fp=4, load_merged_fp=4, perceived_stall_fp=40)
+        assert s.perceived_fp_latency == 5.0
+
+    def test_perceived_latency_no_misses(self):
+        assert SimStats().perceived_fp_latency == 0.0
+        assert SimStats().perceived_load_latency == 0.0
+
+    def test_perceived_combined(self):
+        s = SimStats(
+            load_misses_fp=5, load_misses_int=5,
+            perceived_stall_fp=20, perceived_stall_int=30,
+        )
+        assert s.perceived_load_latency == 5.0
+
+    def test_mispredict_rate(self):
+        s = SimStats(branches=200, branch_mispredicts=10)
+        assert s.mispredict_rate == 0.05
+
+    def test_average_slip(self):
+        s = SimStats(slip_samples=10, slip_total=500)
+        assert s.average_slip == 50.0
+
+
+class TestSlotBreakdown:
+    def _stats(self):
+        s = SimStats()
+        s.slot_counts[0][SLOT_USEFUL] = 60
+        s.slot_counts[0][SLOT_IDLE] = 40
+        s.slot_counts[1][SLOT_WAIT_FU] = 75
+        s.slot_counts[1][SLOT_USEFUL] = 25
+        return s
+
+    def test_fractions_sum_to_one(self):
+        s = self._stats()
+        for unit in (Unit.AP, Unit.EP):
+            assert abs(sum(s.slot_fractions(unit).values()) - 1.0) < 1e-9
+
+    def test_unit_utilization(self):
+        s = self._stats()
+        assert s.unit_utilization(Unit.AP) == 0.6
+        assert s.unit_utilization(Unit.EP) == 0.25
+
+    def test_empty_breakdown(self):
+        s = SimStats()
+        assert s.unit_utilization(Unit.AP) == 0.0
+        assert all(v == 0.0 for v in s.slot_fractions(Unit.EP).values())
+
+    def test_snapshot_keys(self):
+        snap = self._stats().snapshot()
+        for key in ("ipc", "perceived_fp_latency", "ap_slots", "ep_slots"):
+            assert key in snap
+
+
+class TestReport:
+    def test_format_run_contains_metrics(self):
+        s = SimStats(cycles=10, committed=20)
+        text = format_run(s, "label")
+        assert "label" in text
+        assert "IPC" in text
+        assert "2.000" in text
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out
+        assert "30" in out
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out

@@ -1,0 +1,78 @@
+"""SPEC FP95 profile table sanity and paper-classification checks."""
+
+import pytest
+
+from repro.workloads.profiles import BENCH_ORDER, SPECFP95, BenchProfile, get_profile
+
+
+class TestTable:
+    def test_all_ten_benchmarks_present(self):
+        assert set(BENCH_ORDER) == set(SPECFP95)
+        assert len(BENCH_ORDER) == 10
+
+    def test_paper_figure_order(self):
+        assert BENCH_ORDER[0] == "tomcatv"
+        assert BENCH_ORDER[-1] == "wave5"
+
+    def test_lookup(self):
+        assert get_profile("swim").name == "swim"
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("gcc")
+
+    def test_with_overrides(self):
+        p = get_profile("swim").with_overrides(iters=7)
+        assert p.iters == 7
+        assert get_profile("swim").iters != 7 or True  # original untouched
+        assert SPECFP95["swim"].iters == 128
+
+
+class TestPaperClassification:
+    """The profile parameters must encode the paper's benchmark classes."""
+
+    def test_fpppp_is_the_loss_of_decoupling_program(self):
+        p = get_profile("fpppp")
+        assert p.lod_rate > 0
+        assert all(
+            get_profile(b).lod_rate == 0 for b in BENCH_ORDER if b != "fpppp"
+        )
+
+    def test_int_load_stall_programs_gather(self):
+        # paper: fpppp, su2cor, turb3d, wave5 show the largest int-load stalls
+        for b in ("fpppp", "su2cor", "turb3d", "wave5"):
+            assert get_profile(b).gather_frac > 0, b
+
+    def test_short_index_distance_for_turb3d_and_fpppp(self):
+        assert get_profile("turb3d").index_dist == 0
+        assert get_profile("fpppp").index_dist == 0
+
+    def test_low_missratio_programs_are_resident(self):
+        # paper: fpppp and turb3d barely miss
+        assert get_profile("fpppp").ws_bytes <= 16 * 1024
+        assert get_profile("fpppp").hot_frac >= 0.85
+        assert get_profile("turb3d").hot_frac >= 0.75
+
+    def test_streaming_programs_have_large_working_sets(self):
+        for b in ("tomcatv", "swim", "hydro2d"):
+            assert get_profile(b).ws_bytes >= 1 << 22, b
+
+    def test_swim_has_widest_stride(self):
+        # swim's wide stride gives it the suite's highest miss ratio
+        assert get_profile("swim").elem_bytes == max(
+            get_profile(b).elem_bytes for b in BENCH_ORDER
+        )
+
+    def test_hot_regions_fit_their_zone(self):
+        for b in BENCH_ORDER:
+            assert get_profile(b).hot_bytes <= 12 * 1024, b
+
+
+class TestDefaults:
+    def test_defaults_are_sane(self):
+        p = BenchProfile(name="x")
+        assert p.n_streams >= 1
+        assert p.unroll >= 1
+        assert 0 <= p.hot_frac <= 1
+        assert 0 <= p.gather_frac <= 1
+        assert p.chain_depth >= 1

@@ -1,0 +1,177 @@
+"""Synthetic trace generator: structure, mix, determinism, calibration."""
+
+import pytest
+
+from repro.isa.opclass import OpClass, Unit
+from repro.workloads.profiles import BENCH_ORDER, SPECFP95, get_profile
+from repro.workloads.synth import (
+    FOLD_WINDOW,
+    GATHER_BASE,
+    HOT_BASE,
+    INDEX_BASE,
+    STORE_BASE,
+    KernelSynthesizer,
+    fold,
+    synthesize,
+)
+
+
+class TestFold:
+    def test_stays_in_window_sets(self):
+        base = 0x10000000
+        for off in (0, 8, 4095, 4096, 100_000, 10_000_000):
+            addr = fold(base, off)
+            assert (addr - base) % (64 * 1024) < FOLD_WINDOW or \
+                ((addr % (64 * 1024)) - (base % (64 * 1024))) % (64 * 1024) < FOLD_WINDOW
+
+    def test_tag_changes_every_window(self):
+        base = 0x10000000
+        a = fold(base, 0)
+        b = fold(base, FOLD_WINDOW)
+        assert a != b
+        assert a % FOLD_WINDOW == b % FOLD_WINDOW  # same set offset
+
+    def test_stays_in_region_address_space(self):
+        base = 0x10000000
+        for off in range(0, 32 * 1024 * 1024, 999_936):
+            assert fold(base, off) >> 26 == base >> 26
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = get_profile("tomcatv")
+        a = synthesize(p, 2000, seed=3)
+        b = synthesize(p, 2000, seed=3)
+        assert len(a) == len(b)
+        assert all(
+            x.pc == y.pc and x.op == y.op and x.addr == y.addr
+            for x, y in zip(a, b)
+        )
+
+    def test_different_seed_different_addresses(self):
+        p = get_profile("tomcatv")
+        a = synthesize(p, 2000, seed=0)
+        b = synthesize(p, 2000, seed=1)
+        assert any(x.addr != y.addr for x, y in zip(a, b))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("bench", BENCH_ORDER)
+    def test_length_at_least_requested(self, bench):
+        tr = synthesize(get_profile(bench), 1500)
+        assert 1500 <= len(tr) <= 1500 + 600
+
+    @pytest.mark.parametrize("bench", BENCH_ORDER)
+    def test_contains_loop_branches(self, bench):
+        tr = synthesize(get_profile(bench), 2000)
+        branches = [i for i in tr if i.op == OpClass.BRANCH]
+        assert branches, "loop body must end in a branch"
+        taken = sum(1 for b in branches if b.taken)
+        assert taken / len(branches) > 0.8  # loop branches mostly taken
+
+    def test_loop_pcs_repeat(self):
+        tr = synthesize(get_profile("tomcatv"), 2000)
+        pcs = [i.pc for i in tr]
+        assert len(set(pcs)) < len(pcs) / 3  # iterations share static code
+
+    def test_gather_benchmarks_have_int_loads(self):
+        for bench in ("su2cor", "wave5", "turb3d", "fpppp"):
+            tr = synthesize(get_profile(bench), 2000)
+            assert any(i.op == OpClass.LOAD_I for i in tr), bench
+
+    def test_non_gather_benchmarks_have_no_int_loads(self):
+        for bench in ("tomcatv", "swim", "mgrid", "applu"):
+            tr = synthesize(get_profile(bench), 2000)
+            assert not any(i.op == OpClass.LOAD_I for i in tr), bench
+
+    def test_fpppp_has_lod_events(self):
+        tr = synthesize(get_profile("fpppp"), 3000)
+        assert any(i.op == OpClass.FTOI for i in tr)
+
+    def test_good_decouplers_have_no_lod_events(self):
+        for bench in ("tomcatv", "swim", "mgrid"):
+            tr = synthesize(get_profile(bench), 3000)
+            assert not any(i.op == OpClass.FTOI for i in tr), bench
+
+    def test_memory_ops_have_addresses(self):
+        tr = synthesize(get_profile("hydro2d"), 2000)
+        for i in tr:
+            if i.is_load or i.is_store:
+                assert i.addr > 0
+
+    def test_addresses_eight_byte_aligned(self):
+        tr = synthesize(get_profile("su2cor"), 2000)
+        for i in tr:
+            if i.is_load or i.is_store:
+                assert i.addr % 8 == 0
+
+
+class TestRegionLayout:
+    def test_regions_in_disjoint_address_spaces(self):
+        bases = [GATHER_BASE, INDEX_BASE, STORE_BASE, HOT_BASE]
+        assert len({b >> 26 for b in bases}) == len(bases)
+
+    def test_hot_loads_land_in_hot_zone(self):
+        tr = synthesize(get_profile("mgrid"), 3000)
+        hot = [i for i in tr if i.op == OpClass.LOAD_F and i.addr >> 26 == HOT_BASE >> 26]
+        assert hot
+        for i in hot:
+            assert 52 * 1024 <= i.addr % (64 * 1024) < 64 * 1024
+
+    def test_store_addresses_in_store_space(self):
+        tr = synthesize(get_profile("mgrid"), 3000)
+        for i in tr:
+            if i.op == OpClass.STORE_F:
+                assert i.addr >> 26 == STORE_BASE >> 26
+
+
+class TestMixCalibration:
+    def test_ap_fraction_near_paper_balance(self):
+        """The AP-side share across the suite sets the ~6.8 effective peak
+        (paper section 3.1: a 15% imbalance loss over 8-wide issue)."""
+        fracs = []
+        for bench in BENCH_ORDER:
+            st = synthesize(get_profile(bench), 4000).stats()
+            fracs.append(st.ap_fraction)
+        avg = sum(fracs) / len(fracs)
+        assert 0.50 < avg < 0.68
+
+    def test_load_fraction_realistic(self):
+        for bench in BENCH_ORDER:
+            st = synthesize(get_profile(bench), 4000).stats()
+            loads = st.fraction(OpClass.LOAD_F, OpClass.LOAD_I)
+            assert 0.15 < loads < 0.45, bench
+
+    def test_fp_fraction_realistic(self):
+        for bench in BENCH_ORDER:
+            st = synthesize(get_profile(bench), 4000).stats()
+            fp = st.fraction(OpClass.FALU, OpClass.FTOI)
+            assert 0.25 < fp < 0.60, bench
+
+    def test_store_fraction_realistic(self):
+        for bench in BENCH_ORDER:
+            st = synthesize(get_profile(bench), 4000).stats()
+            stores = st.fraction(OpClass.STORE_F, OpClass.STORE_I)
+            assert 0.02 < stores < 0.18, bench
+
+
+class TestPlanning:
+    def test_gather_minimum_one_slot(self):
+        # a nonzero gather fraction must survive integer rounding
+        k = KernelSynthesizer(get_profile("su2cor"))
+        assert k.n_gather >= 1
+
+    def test_roles_partition_loads(self):
+        for bench in BENCH_ORDER:
+            k = KernelSynthesizer(get_profile(bench))
+            assert len(k.load_slots) == k.n_loads
+            by_role = {"hot": 0, "stream": 0, "gather": 0}
+            for s in k.load_slots:
+                by_role[s.role] += 1
+            assert by_role["gather"] == k.n_gather
+            assert by_role["hot"] == k.n_hot
+
+    def test_stream_slots_have_distinct_windows(self):
+        k = KernelSynthesizer(get_profile("tomcatv"))
+        windows = [s.window for s in k.load_slots if s.role == "stream"]
+        assert len(set(windows)) == len(windows)

@@ -1,0 +1,45 @@
+"""Wrong-path instruction synthesis."""
+
+from repro.isa.opclass import OpClass
+from repro.workloads.wrongpath import WrongPathGenerator
+
+
+class TestWrongPathGenerator:
+    def test_block_size(self):
+        gen = WrongPathGenerator(seed=1)
+        assert len(gen.next_block(16)) == 16
+
+    def test_deterministic_in_seed(self):
+        a = WrongPathGenerator(seed=5).next_block(64)
+        b = WrongPathGenerator(seed=5).next_block(64)
+        assert [(i.op, i.addr, i.dest) for i in a] == [
+            (i.op, i.addr, i.dest) for i in b
+        ]
+
+    def test_no_branches(self):
+        # the mispredicted branch pins recovery; wrong paths don't branch
+        insts = WrongPathGenerator(seed=2).next_block(400)
+        assert not any(i.op == OpClass.BRANCH for i in insts)
+
+    def test_no_stores(self):
+        insts = WrongPathGenerator(seed=2).next_block(400)
+        assert not any(i.is_store for i in insts)
+
+    def test_contains_loads_that_touch_memory(self):
+        insts = WrongPathGenerator(seed=3).next_block(400)
+        loads = [i for i in insts if i.is_load]
+        assert loads
+        assert all(i.addr > 0 and i.addr % 8 == 0 for i in loads)
+
+    def test_load_addresses_near_hot_region(self):
+        gen = WrongPathGenerator(seed=4)
+        for i in gen.next_block(300):
+            if i.is_load:
+                assert gen.data_base <= i.addr < gen.data_base + gen.data_span
+
+    def test_mix_roughly_matches_weights(self):
+        insts = WrongPathGenerator(seed=6).next_block(2000)
+        loads = sum(1 for i in insts if i.is_load)
+        falu = sum(1 for i in insts if i.op == OpClass.FALU)
+        assert 0.15 < loads / len(insts) < 0.45
+        assert 0.20 < falu / len(insts) < 0.50
