@@ -6,31 +6,38 @@ the L2 latency grows from 1 to 256 cycles — Figure 4-b/4-c in miniature.
 Decoupling should keep the IPC curve nearly flat; the non-decoupled curve
 collapses.
 
+Built on the experiment engine: the whole grid is described as a
+:class:`repro.Sweep`, submitted once, fanned out over every core, and
+cached on disk — rerunning this script simulates nothing.
+
 Run:  python examples/latency_sweep.py
 """
 
-from repro import Processor, format_table, multiprogram, paper_config
+from repro import Engine, ResultCache, RunSpec, Sweep, format_table
 
 LATENCIES = (1, 16, 32, 64, 128, 256)
 THREADS = 4
 
 
-def measure(decoupled: bool, latency: int) -> float:
-    cfg = paper_config(
-        n_threads=THREADS, l2_latency=latency, decoupled=decoupled
-    )
-    proc = Processor(cfg, multiprogram(THREADS, seg_instrs=20_000))
-    stats = proc.run(
-        max_commits=10_000 * THREADS, warmup_commits=6_000 * THREADS
-    )
-    return stats.ipc
-
-
 def main() -> None:
+    sweep = Sweep.grid(
+        RunSpec.multiprogrammed,
+        decoupled=(True, False),
+        l2_latency=LATENCIES,
+        n_threads=THREADS,
+        commits_per_thread=10_000,
+        warmup_per_thread=6_000,
+    )
+    results = Engine(cache=ResultCache()).map(sweep)
+
     rows = []
     for decoupled in (True, False):
         label = "decoupled" if decoupled else "non-decoupled"
-        ipcs = [measure(decoupled, lat) for lat in LATENCIES]
+        ipcs = [
+            results[spec].ipc
+            for spec in sweep
+            if spec.decoupled == decoupled
+        ]
         base = ipcs[0]
         rows.append([label] + ipcs)
         rows.append(
@@ -43,6 +50,10 @@ def main() -> None:
             rows,
             f"IPC vs L2 latency, {THREADS} threads (paper Figure 4-c)",
         )
+    )
+    print(
+        f"[{results.n_runs} runs: {results.n_cached} cached, "
+        f"{results.n_executed} simulated]"
     )
 
 

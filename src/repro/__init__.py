@@ -17,6 +17,7 @@ Quickstart::
 
 from repro.core.config import MachineConfig, PAPER_BASELINE, paper_config
 from repro.core.processor import Processor, SimulationError
+from repro.engine import Engine, ResultCache, RunSpec, Sweep
 from repro.isa.opclass import OpClass, Unit
 from repro.stats.counters import SimStats
 from repro.stats.report import format_run, format_table
@@ -35,6 +36,10 @@ __all__ = [
     "paper_config",
     "Processor",
     "SimulationError",
+    "Engine",
+    "ResultCache",
+    "RunSpec",
+    "Sweep",
     "SimStats",
     "OpClass",
     "Unit",

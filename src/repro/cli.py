@@ -6,55 +6,172 @@ Subcommands:
   and print it as text tables.
 * ``ablation {unit_width,fetch_policy,mshr,iq_depth,rob,all}`` — run an
   ablation study.
+* ``sweep`` — an ad-hoc grid (threads x latencies x modes, or benches x
+  latencies x modes) defined on the command line, emitted as JSON.
 * ``run`` — one custom simulation (threads / latency / mode / budgets).
 * ``bench NAME`` — one single-threaded benchmark run with a full report.
 
-Use ``REPRO_SCALE=0.2 repro-sim figure fig4`` for a fast smoke sweep.
+Every simulation goes through the experiment engine: batches fan out over
+worker processes (``--workers``, default ``$REPRO_WORKERS`` or all cores)
+and results land in a content-addressed cache (``--cache-dir``, disable
+with ``--no-cache``), so interrupted or repeated sweeps only simulate
+what is missing.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro.engine import Engine, ResultCache, RunSpec, Sweep
 from repro.experiments.ablations import ABLATIONS
-from repro.experiments.figures import FIGURES
-from repro.experiments.runner import run_multiprogrammed, run_single_benchmark
+from repro.experiments.figures import FIGURES, LATENCIES
 from repro.stats.report import format_run
 from repro.workloads.profiles import BENCH_ORDER
 
+EPILOG = """\
+environment variables:
+  REPRO_SCALE      global instruction-budget scale factor (float, default 1.0,
+                   floor 0.05). Captured into every run's spec and therefore
+                   into its cache key, so results are never shared across
+                   different scale factors. REPRO_SCALE=0.1 for smoke sweeps.
+  REPRO_WORKERS    default worker-process count for sweeps
+                   (overridden by --workers; default: all cores)
+  REPRO_CACHE_DIR  result-cache directory
+                   (overridden by --cache-dir; default: ~/.cache/repro-sim)
+
+examples:
+  REPRO_SCALE=0.2 repro-sim figure fig4 --workers 4
+  repro-sim sweep --threads 1,2,4 --latencies 16,64 --modes dec,non
+  repro-sim ablation mshr --no-cache
+"""
+
+
+def _engine_from_args(args) -> Engine:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Engine(workers=args.workers, cache=cache)
+
+
+def _print_batch_footer(name: str, engine: Engine, before: tuple, t0: float):
+    cached = engine.n_cached - before[0]
+    executed = engine.n_executed - before[1]
+    print(
+        f"[{name}: {cached + executed} runs, {cached} cached, "
+        f"{executed} simulated, {time.time() - t0:.1f}s]\n"
+    )
+
 
 def _cmd_figure(args) -> int:
+    engine = _engine_from_args(args)
     names = list(FIGURES) if args.name == "all" else [args.name]
     for name in names:
         build, render = FIGURES[name]
+        before = (engine.n_cached, engine.n_executed)
         t0 = time.time()
-        data = build(seed=args.seed)
+        data = build(seed=args.seed, engine=engine)
         print(render(data))
-        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+        _print_batch_footer(name, engine, before, t0)
     return 0
 
 
 def _cmd_ablation(args) -> int:
+    engine = _engine_from_args(args)
     names = list(ABLATIONS) if args.name == "all" else [args.name]
     for name in names:
         build, render = ABLATIONS[name]
+        before = (engine.n_cached, engine.n_executed)
         t0 = time.time()
-        data = build(seed=args.seed)
+        data = build(seed=args.seed, engine=engine)
         print(render(data))
-        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+        _print_batch_footer(name, engine, before, t0)
+    return 0
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(tok) for tok in text.split(",") if tok.strip()]
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        latencies = _int_list(args.latencies)
+        threads = _int_list(args.threads)
+    except ValueError:
+        print(
+            "--threads/--latencies take comma-separated integers, "
+            f"e.g. --latencies {','.join(map(str, LATENCIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    modes = []
+    for tok in args.modes.split(","):
+        tok = tok.strip()
+        if tok in ("dec", "decoupled"):
+            modes.append(True)
+        elif tok in ("non", "non-dec", "non-decoupled"):
+            modes.append(False)
+        elif tok:
+            print(f"unknown mode {tok!r} (use dec / non)", file=sys.stderr)
+            return 2
+    if args.benches:
+        benches = [tok.strip() for tok in args.benches.split(",") if tok.strip()]
+        unknown = [b for b in benches if b not in BENCH_ORDER]
+        if unknown:
+            print(
+                f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"known: {', '.join(BENCH_ORDER)}",
+                file=sys.stderr,
+            )
+            return 2
+        sweep = Sweep.grid(
+            RunSpec.single,
+            bench=benches,
+            l2_latency=latencies,
+            decoupled=modes,
+            seed=args.seed,
+            commits=args.commits,
+        )
+    else:
+        sweep = Sweep.grid(
+            RunSpec.multiprogrammed,
+            n_threads=threads,
+            l2_latency=latencies,
+            decoupled=modes,
+            seed=args.seed,
+            commits_per_thread=args.commits,
+        )
+    engine = _engine_from_args(args)
+    t0 = time.time()
+    results = engine.map(sweep)
+    doc = {
+        "n_runs": results.n_runs,
+        "n_cached": results.n_cached,
+        "n_executed": results.n_executed,
+        "elapsed_s": round(time.time() - t0, 3),
+        "runs": [
+            {
+                "label": spec.label(),
+                "key": spec.key(),
+                "spec": spec.to_dict(),
+                "stats": stats.snapshot(),
+            }
+            for spec, stats in results.items()
+        ],
+    }
+    print(json.dumps(doc, indent=2))
     return 0
 
 
 def _cmd_run(args) -> int:
-    stats = run_multiprogrammed(
+    spec = RunSpec.multiprogrammed(
         args.threads,
         l2_latency=args.latency,
         decoupled=not args.non_decoupled,
         seed=args.seed,
         commits_per_thread=args.commits,
     )
+    stats = _engine_from_args(args).run(spec)
     mode = "non-decoupled" if args.non_decoupled else "decoupled"
     print(format_run(stats, f"{args.threads} threads, L2={args.latency}, {mode}"))
     return 0
@@ -67,12 +184,13 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
-    stats = run_single_benchmark(
+    spec = RunSpec.single(
         args.name,
         l2_latency=args.latency,
         decoupled=not args.non_decoupled,
         seed=args.seed,
     )
+    stats = _engine_from_args(args).run(spec)
     print(format_run(stats, f"{args.name} (1 thread, L2={args.latency})"))
     return 0
 
@@ -84,19 +202,71 @@ def build_parser() -> argparse.ArgumentParser:
             "Cycle-accurate SMT + decoupled access/execute simulator "
             "(reproduction of Parcerisa & González, HPCA 1999)"
         ),
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+    engine_flags = argparse.ArgumentParser(add_help=False)
+    g = engine_flags.add_argument_group("engine")
+    g.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_WORKERS, else all cores; "
+             "1 = serial in-process)",
+    )
+    g.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    g.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache location (default: $REPRO_CACHE_DIR, "
+             "else ~/.cache/repro-sim)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p = sub.add_parser(
+        "figure", help="regenerate a paper figure", parents=[engine_flags]
+    )
     p.add_argument("name", choices=sorted(FIGURES) + ["all"])
     p.set_defaults(func=_cmd_figure)
 
-    p = sub.add_parser("ablation", help="run an ablation study")
+    p = sub.add_parser(
+        "ablation", help="run an ablation study", parents=[engine_flags]
+    )
     p.add_argument("name", choices=sorted(ABLATIONS) + ["all"])
     p.set_defaults(func=_cmd_ablation)
 
-    p = sub.add_parser("run", help="one custom multithreaded run")
+    p = sub.add_parser(
+        "sweep",
+        help="run an ad-hoc grid and print JSON",
+        parents=[engine_flags],
+        description=(
+            "Expand a grid of runs (threads x latencies x modes for the "
+            "multiprogrammed workload, or benches x latencies x modes for "
+            "single-benchmark runs), execute it through the engine and "
+            "print one JSON document with a spec + stats entry per run."
+        ),
+    )
+    p.add_argument("--threads", default="4",
+                   help="comma-separated thread counts (default: 4)")
+    p.add_argument("--latencies", default="16",
+                   help=f"comma-separated L2 latencies, e.g. "
+                        f"{','.join(map(str, LATENCIES))} (default: 16)")
+    p.add_argument("--modes", default="dec",
+                   help="comma-separated from {dec,non} (default: dec)")
+    p.add_argument("--benches", default=None,
+                   help="comma-separated benchmark names; switches the grid "
+                        "to single-benchmark runs (ignores --threads)")
+    p.add_argument("--commits", type=int, default=None,
+                   help="measured-commit budget override (pre-scale, "
+                        "per thread for multiprogrammed grids)")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "run", help="one custom multithreaded run", parents=[engine_flags]
+    )
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--latency", type=int, default=16, help="L2 latency (cycles)")
     p.add_argument("--non-decoupled", action="store_true")
@@ -104,7 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measured commits per thread")
     p.set_defaults(func=_cmd_run)
 
-    p = sub.add_parser("bench", help="one single-threaded benchmark run")
+    p = sub.add_parser(
+        "bench", help="one single-threaded benchmark run", parents=[engine_flags]
+    )
     p.add_argument("name", help=f"one of: {', '.join(BENCH_ORDER)}")
     p.add_argument("--latency", type=int, default=16)
     p.add_argument("--non-decoupled", action="store_true")

@@ -1,0 +1,49 @@
+"""Declarative experiment engine.
+
+The engine decouples *describing* an experiment from *executing* it — the
+same split the paper applies to the processor pipeline. Three layers:
+
+* **Spec** (:mod:`repro.engine.spec`) — :class:`RunSpec` is a frozen,
+  hashable description of one simulation (workload + config overrides +
+  budgets + seed + ``REPRO_SCALE``); :class:`Sweep` expands grids of specs
+  declaratively.
+* **Execution** (:mod:`repro.engine.scheduler`) — :class:`Engine` fans a
+  batch of specs out over a process pool (serial fallback for one worker)
+  and returns results keyed by spec, in submission order regardless of
+  completion order.
+* **Persistence** (:mod:`repro.engine.cache`) — :class:`ResultCache` is a
+  content-addressed on-disk store keyed by :meth:`RunSpec.key`, so reruns
+  and interrupted sweeps resume for free.
+
+Typical driver::
+
+    sweep = Sweep.grid(RunSpec.multiprogrammed,
+                       n_threads=(1, 2, 4), l2_latency=(16, 64))
+    results = Engine(workers=4, cache=ResultCache()).map(sweep)
+    for spec in sweep:
+        print(spec.n_threads, spec.l2_latency, results[spec].ipc)
+"""
+
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.engine.scheduler import (
+    WORKERS_ENV,
+    Engine,
+    SweepResult,
+    resolve_workers,
+    submit,
+)
+from repro.engine.spec import RunSpec, Sweep, scale_factor
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "Engine",
+    "ResultCache",
+    "RunSpec",
+    "Sweep",
+    "SweepResult",
+    "WORKERS_ENV",
+    "default_cache_dir",
+    "resolve_workers",
+    "scale_factor",
+    "submit",
+]

@@ -1,0 +1,92 @@
+"""Persistence layer: content-addressed on-disk result cache.
+
+Each entry is one JSON file named by :meth:`RunSpec.key` — a stable hash
+over the complete spec (including seed and ``REPRO_SCALE``), so a cached
+result can only ever be served to the exact simulation that produced it.
+Entries store the spec alongside the stats for auditability; a corrupt or
+unreadable entry is treated as a miss and overwritten on the next put.
+
+Writes are atomic (temp file + ``os.replace``) so parallel workers and an
+interrupted ``figure all`` never leave half-written entries behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.engine.spec import RunSpec
+from repro.stats.counters import SimStats
+
+#: overrides the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: bump when the on-disk entry layout changes
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-sim"
+
+
+class ResultCache:
+    """Maps :class:`RunSpec` -> :class:`SimStats` on disk."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.key()}.json"
+
+    def get(self, spec: RunSpec) -> SimStats | None:
+        """The cached result, or ``None`` on a miss (or corrupt entry)."""
+        path = self.path_for(spec)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("format") != CACHE_FORMAT:
+                return None
+            return SimStats.from_dict(entry["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: RunSpec, stats: SimStats) -> Path:
+        """Store one result atomically; returns the entry path."""
+        path = self.path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "key": spec.key(),
+            "spec": spec.to_dict(),
+            "stats": stats.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r})"

@@ -1,0 +1,162 @@
+"""Execution layer: fan a batch of specs out over worker processes.
+
+:class:`Engine` is the single entry point every experiment driver uses:
+``engine.map(specs)`` dedupes the batch, serves what it can from the
+in-memory memo and the on-disk cache, executes the misses — in this
+process for one worker, over a :class:`~concurrent.futures.Process
+PoolExecutor` otherwise — and returns a :class:`SweepResult` keyed by
+spec in *submission* order, regardless of completion order. Results are
+therefore byte-identical for any worker count.
+
+Worker processes receive plain dicts (``RunSpec.to_dict``) and return
+plain dicts (``SimStats.to_dict``), the same representation the cache
+stores, so results cross process boundaries without bespoke pickling.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable
+
+from repro.engine.cache import ResultCache
+from repro.engine.spec import RunSpec
+from repro.stats.counters import SimStats
+
+#: overrides the default worker count (CLI ``--workers`` wins over this)
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit argument > ``$REPRO_WORKERS`` > ``os.cpu_count()``."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _execute_payload(spec_dict: dict) -> dict:
+    """Worker-side entry point (module-level so it pickles)."""
+    return RunSpec.from_dict(spec_dict).execute().to_dict()
+
+
+class SweepResult(dict):
+    """``RunSpec -> SimStats`` in submission order, plus hit/miss counts."""
+
+    def __init__(self, items, n_cached: int = 0, n_executed: int = 0):
+        super().__init__(items)
+        self.n_cached = n_cached
+        self.n_executed = n_executed
+
+    @property
+    def n_runs(self) -> int:
+        return len(self)
+
+
+class Engine:
+    """Schedules batches of :class:`RunSpec` over workers and caches.
+
+    ``workers=None`` defers to ``$REPRO_WORKERS`` / ``os.cpu_count()`` at
+    each ``map`` call; ``workers=1`` executes serially in-process.
+    ``cache=None`` disables persistence (an in-memory memo still dedupes
+    repeat specs within this engine's lifetime).
+    """
+
+    def __init__(
+        self, workers: int | None = None, cache: ResultCache | None = None
+    ):
+        self.workers = workers
+        self.cache = cache
+        self._memo: dict[RunSpec, SimStats] = {}
+        # lifetime totals, summed over every map() call
+        self.n_cached = 0
+        self.n_executed = 0
+
+    @classmethod
+    def serial(cls) -> "Engine":
+        """One worker, no persistent cache: the unit-test default."""
+        return cls(workers=1, cache=None)
+
+    def map(self, specs: Iterable[RunSpec]) -> SweepResult:
+        """Run every spec; return results keyed by spec, input-ordered."""
+        ordered = list(specs)
+        unique = list(dict.fromkeys(ordered))
+        done: dict[RunSpec, SimStats] = {}
+        misses: list[RunSpec] = []
+        for spec in unique:
+            hit = self._memo.get(spec)
+            if hit is None and self.cache is not None:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    self._memo[spec] = hit  # spare later maps the disk read
+            if hit is not None:
+                # hand out a copy: SimStats is mutable, and a caller
+                # touching a counter must not corrupt future hits
+                done[spec] = copy.deepcopy(hit)
+            else:
+                misses.append(spec)
+
+        if misses:
+            n_workers = min(resolve_workers(self.workers), len(misses))
+            if n_workers == 1:
+                for spec in misses:
+                    done[spec] = self._record(spec, spec.execute())
+            else:
+                self._map_parallel(misses, n_workers, done)
+
+        n_cached = len(unique) - len(misses)
+        self.n_cached += n_cached
+        self.n_executed += len(misses)
+        return SweepResult(
+            ((spec, done[spec]) for spec in unique),
+            n_cached=n_cached,
+            n_executed=len(misses),
+        )
+
+    def run(self, spec: RunSpec) -> SimStats:
+        """Convenience: one spec through the same memo/cache path."""
+        return self.map([spec])[spec]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _record(self, spec: RunSpec, stats: SimStats) -> SimStats:
+        self._memo[spec] = copy.deepcopy(stats)  # isolate from the caller
+        if self.cache is not None:
+            self.cache.put(spec, stats)
+        return stats
+
+    def _map_parallel(
+        self,
+        misses: list[RunSpec],
+        n_workers: int,
+        done: dict[RunSpec, SimStats],
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {
+                pool.submit(_execute_payload, spec.to_dict()): spec
+                for spec in misses
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    spec = futures[fut]
+                    # persist each result as it lands so an interrupted
+                    # sweep resumes from what already finished
+                    done[spec] = self._record(
+                        spec, SimStats.from_dict(fut.result())
+                    )
+
+
+def submit(
+    specs: Iterable[RunSpec], engine: Engine | None = None
+) -> SweepResult:
+    """Run a batch on ``engine``, or serially with no cache when omitted."""
+    return (engine or Engine.serial()).map(specs)

@@ -1,0 +1,285 @@
+"""Spec layer: frozen run descriptions and declarative sweeps.
+
+A :class:`RunSpec` captures *everything* that determines a simulation's
+result — workload, machine-config overrides, instruction budgets, RNG seed
+and the ``REPRO_SCALE`` factor in force when the spec was built. Two specs
+are equal iff the simulations they describe are identical, so a spec's
+stable hash (:meth:`RunSpec.key`) can address a result cache: a cached
+result can never be served across different scale factors, seeds or
+configurations, because each of those is part of the key.
+
+Budget constants live here (the experiment runners re-export them): the
+measured/warm-up commit counts behind every figure in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Iterator
+
+from repro.stats.counters import SimStats
+
+#: bump when the spec schema or execution semantics change incompatibly;
+#: part of the hashed payload, so stale cache entries simply stop matching.
+SPEC_VERSION = 1
+
+#: measured commits per hardware context in multithreaded runs
+COMMITS_PER_THREAD = 15_000
+#: warm-up commits per hardware context (discarded)
+WARMUP_PER_THREAD = 8_000
+#: trace segment length per benchmark in multiprogrammed playlists
+SEG_INSTRS = 20_000
+#: single-benchmark (section 2) budgets
+SINGLE_COMMITS = 30_000
+SINGLE_WARMUP = 15_000
+
+
+def scale_factor() -> float:
+    """Global instruction-budget scale (``REPRO_SCALE`` env var)."""
+    try:
+        return max(0.05, float(os.environ.get("REPRO_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(500, int(n * scale))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, fully described. Build via :meth:`multiprogrammed`
+    or :meth:`single`; execute via :meth:`execute` (or hand a batch to the
+    scheduler)."""
+
+    kind: str                     # "multi" | "single"
+    bench: str = ""               # single-benchmark name ("" for multi)
+    n_threads: int = 1
+    l2_latency: int = 16
+    decoupled: bool = True
+    scale_with_latency: bool = False   # section-2 resource scaling (single)
+    seed: int = 0
+    commits: int | None = None    # pre-scale budget override (per thread
+    warmup: int | None = None     # for "multi", total for "single")
+    seg_instrs: int = SEG_INSTRS  # multiprogrammed playlist segment length
+    scale: float = 1.0            # REPRO_SCALE captured at spec build time
+    config_overrides: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def multiprogrammed(
+        cls,
+        n_threads: int,
+        l2_latency: int = 16,
+        decoupled: bool = True,
+        seed: int = 0,
+        commits_per_thread: int | None = None,
+        warmup_per_thread: int | None = None,
+        seg_instrs: int = SEG_INSTRS,
+        scale: float | None = None,
+        **config_overrides,
+    ) -> "RunSpec":
+        """A paper-section-3 run: rotated SPEC FP95 mix on all contexts."""
+        return cls(
+            kind="multi",
+            n_threads=n_threads,
+            l2_latency=l2_latency,
+            decoupled=decoupled,
+            seed=seed,
+            commits=commits_per_thread,
+            warmup=warmup_per_thread,
+            seg_instrs=seg_instrs,
+            scale=scale_factor() if scale is None else scale,
+            config_overrides=tuple(sorted(config_overrides.items())),
+        )
+
+    @classmethod
+    def single(
+        cls,
+        bench: str,
+        l2_latency: int = 16,
+        decoupled: bool = True,
+        scale_with_latency: bool = True,
+        seed: int = 0,
+        commits: int | None = None,
+        warmup: int | None = None,
+        scale: float | None = None,
+        **config_overrides,
+    ) -> "RunSpec":
+        """A paper-section-2 run: a single benchmark on one context."""
+        return cls(
+            kind="single",
+            bench=bench,
+            n_threads=1,
+            l2_latency=l2_latency,
+            decoupled=decoupled,
+            scale_with_latency=scale_with_latency,
+            seed=seed,
+            commits=commits,
+            warmup=warmup,
+            scale=scale_factor() if scale is None else scale,
+            config_overrides=tuple(sorted(config_overrides.items())),
+        )
+
+    def __post_init__(self):
+        if self.kind not in ("multi", "single"):
+            raise ValueError(f"unknown run kind {self.kind!r}")
+        if self.kind == "single" and not self.bench:
+            raise ValueError("single-benchmark specs need a bench name")
+
+    # -- identity ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation; round-trips through :meth:`from_dict`."""
+        return {
+            "kind": self.kind,
+            "bench": self.bench,
+            "n_threads": self.n_threads,
+            "l2_latency": self.l2_latency,
+            "decoupled": self.decoupled,
+            "scale_with_latency": self.scale_with_latency,
+            "seed": self.seed,
+            "commits": self.commits,
+            "warmup": self.warmup,
+            "seg_instrs": self.seg_instrs,
+            "scale": self.scale,
+            "config_overrides": dict(self.config_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        kw = {k: v for k, v in d.items() if k in known}
+        kw["config_overrides"] = tuple(
+            sorted((d.get("config_overrides") or {}).items())
+        )
+        return cls(**kw)
+
+    def key(self) -> str:
+        """Stable content hash; the cache filename stem."""
+        payload = json.dumps(
+            {"spec_version": SPEC_VERSION, **self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def label(self) -> str:
+        """Short human-readable description for logs and JSON output."""
+        mode = "dec" if self.decoupled else "non-dec"
+        if self.kind == "single":
+            return f"{self.bench} L2={self.l2_latency} {mode}"
+        return f"{self.n_threads}T L2={self.l2_latency} {mode}"
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self) -> SimStats:
+        """Build the machine + workload and run the measured region."""
+        # imported here so the spec layer stays importable without pulling
+        # the whole pipeline in (and to keep worker start-up lazy)
+        from repro.core.config import paper_config
+        from repro.core.processor import Processor
+        from repro.workloads.multiprogram import multiprogram, single_program
+
+        overrides = dict(self.config_overrides)
+        if self.kind == "multi":
+            cfg = paper_config(
+                n_threads=self.n_threads,
+                decoupled=self.decoupled,
+                l2_latency=self.l2_latency,
+                **overrides,
+            )
+            playlists = multiprogram(
+                self.n_threads, seg_instrs=self.seg_instrs, seed=self.seed
+            )
+            commits = (
+                _scaled(self.commits or COMMITS_PER_THREAD, self.scale)
+                * self.n_threads
+            )
+            warmup = (
+                _scaled(self.warmup or WARMUP_PER_THREAD, self.scale)
+                * self.n_threads
+            )
+            proc = Processor(cfg, playlists, seed=self.seed)
+            return proc.run(
+                max_commits=commits, warmup_commits=warmup, max_cycles=4_000_000
+            )
+
+        cfg = paper_config(
+            n_threads=1,
+            decoupled=self.decoupled,
+            l2_latency=self.l2_latency,
+            scale_with_latency=self.scale_with_latency,
+            **overrides,
+        )
+        commits = _scaled(self.commits or SINGLE_COMMITS, self.scale)
+        warmup = _scaled(self.warmup or SINGLE_WARMUP, self.scale)
+        playlists = single_program(
+            self.bench, n_instrs=max(commits, 20_000), seed=self.seed
+        )
+        proc = Processor(cfg, playlists, seed=self.seed)
+        return proc.run(
+            max_commits=commits, warmup_commits=warmup, max_cycles=8_000_000
+        )
+
+
+def _as_axis(value) -> tuple:
+    """One grid axis: scalars (and strings) are single-point axes."""
+    if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+        return (value,)
+    return tuple(value)
+
+
+class Sweep:
+    """An ordered batch of :class:`RunSpec`, built declaratively.
+
+    ``Sweep.grid(factory, a=(1, 2), b=("x", "y"))`` expands the Cartesian
+    product in axis-declaration order (last axis fastest) and calls
+    ``factory(a=..., b=...)`` for each point; scalar axis values are held
+    constant. Sweeps concatenate with ``+`` and keep duplicates — the
+    scheduler dedupes at submission time.
+    """
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: Iterable[RunSpec] = ()):
+        self.specs: tuple[RunSpec, ...] = tuple(specs)
+
+    @classmethod
+    def of(cls, *specs: RunSpec) -> "Sweep":
+        return cls(specs)
+
+    @classmethod
+    def grid(cls, factory, **axes) -> "Sweep":
+        names = list(axes)
+        values = [_as_axis(axes[name]) for name in names]
+        return cls(
+            factory(**dict(zip(names, point)))
+            for point in itertools.product(*values)
+        )
+
+    def filter(self, pred) -> "Sweep":
+        return Sweep(s for s in self.specs if pred(s))
+
+    def deduped(self) -> "Sweep":
+        return Sweep(dict.fromkeys(self.specs))
+
+    def __add__(self, other: "Sweep") -> "Sweep":
+        return Sweep(self.specs + tuple(other))
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __getitem__(self, i):
+        return self.specs[i]
+
+    def __repr__(self) -> str:
+        return f"Sweep({len(self.specs)} specs)"

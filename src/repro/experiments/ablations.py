@@ -1,6 +1,7 @@
 """Ablation studies beyond the paper's figures.
 
-These quantify design choices the paper mentions but does not evaluate:
+These quantify design choices the paper mentions but does not evaluate
+(see DESIGN.md, ``abl-*`` rows of the per-experiment index):
 
 * ``unit_width`` — the paper notes a 15 % effective-peak loss from AP/EP
   load imbalance and says asymmetric issue widths are "beyond the scope of
@@ -10,28 +11,35 @@ These quantify design choices the paper mentions but does not evaluate:
   reproduction uses by default for large latencies (see DESIGN.md).
 * ``iq_depth`` — the instruction-queue depth that bounds AP/EP slip.
 * ``rob`` — sensitivity to the ROB size Figure 2 leaves unspecified.
+
+Like the figure drivers, each ablation describes its runs as specs,
+submits the batch to the engine once, and assembles its table from the
+returned mapping; pass ``engine=`` for parallelism and caching.
 """
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_multiprogrammed
+from repro.engine import RunSpec, Sweep, submit
 from repro.stats.report import format_table
 
 
-def unit_width(total: int = 8, n_threads: int = 4, seed: int = 0) -> dict:
+def unit_width(total: int = 8, n_threads: int = 4, seed: int = 0, engine=None) -> dict:
     """Sweep the AP/EP issue-width split at a fixed total width."""
-    out = {}
-    for ap in range(2, total - 1):
-        ep = total - ap
-        stats = run_multiprogrammed(
-            n_threads, seed=seed, ap_width=ap, ep_width=ep
+    specs = {
+        (ap, total - ap): RunSpec.multiprogrammed(
+            n_threads, seed=seed, ap_width=ap, ep_width=total - ap
         )
-        out[(ap, ep)] = {
-            "ipc": stats.ipc,
-            "ap_util": stats.unit_utilization(0),
-            "ep_util": stats.unit_utilization(1),
+        for ap in range(2, total - 1)
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {
+        split: {
+            "ipc": results[spec].ipc,
+            "ap_util": results[spec].unit_utilization(0),
+            "ep_util": results[spec].unit_utilization(1),
         }
-    return out
+        for split, spec in specs.items()
+    }
 
 
 def render_unit_width(data: dict) -> str:
@@ -46,13 +54,14 @@ def render_unit_width(data: dict) -> str:
     )
 
 
-def fetch_policy(n_threads: int = 4, seed: int = 0) -> dict:
+def fetch_policy(n_threads: int = 4, seed: int = 0, engine=None) -> dict:
     """ICOUNT vs round-robin fetch thread selection."""
-    out = {}
-    for policy in ("icount", "rr"):
-        stats = run_multiprogrammed(n_threads, seed=seed, fetch_policy=policy)
-        out[policy] = {"ipc": stats.ipc}
-    return out
+    specs = {
+        policy: RunSpec.multiprogrammed(n_threads, seed=seed, fetch_policy=policy)
+        for policy in ("icount", "rr")
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {policy: {"ipc": results[spec].ipc} for policy, spec in specs.items()}
 
 
 def render_fetch_policy(data: dict) -> str:
@@ -62,18 +71,22 @@ def render_fetch_policy(data: dict) -> str:
     )
 
 
-def mshr(n_threads: int = 4, l2_latency: int = 64, seed: int = 0) -> dict:
+def mshr(n_threads: int = 4, l2_latency: int = 64, seed: int = 0, engine=None) -> dict:
     """MSHR count at high latency: the paper's fixed 16 vs scaled."""
-    out = {}
-    for count in (8, 16, 32, 64, 128):
-        stats = run_multiprogrammed(
+    specs = {
+        count: RunSpec.multiprogrammed(
             n_threads, l2_latency=l2_latency, seed=seed, mshrs=count
         )
-        out[count] = {
-            "ipc": stats.ipc,
-            "alloc_failures": stats.mshr_alloc_failures,
+        for count in (8, 16, 32, 64, 128)
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {
+        count: {
+            "ipc": results[spec].ipc,
+            "alloc_failures": results[spec].mshr_alloc_failures,
         }
-    return out
+        for count, spec in specs.items()
+    }
 
 
 def render_mshr(data: dict) -> str:
@@ -85,16 +98,20 @@ def render_mshr(data: dict) -> str:
     )
 
 
-def iq_depth(n_threads: int = 1, l2_latency: int = 64, seed: int = 0) -> dict:
+def iq_depth(n_threads: int = 1, l2_latency: int = 64, seed: int = 0, engine=None) -> dict:
     """Instruction-queue depth: the slip ceiling of decoupling."""
-    out = {}
-    for size in (8, 16, 32, 48, 96, 192):
-        stats = run_multiprogrammed(
+    specs = {
+        size: RunSpec.multiprogrammed(
             n_threads, l2_latency=l2_latency, seed=seed,
             iq_size=size, aq_size=size,
         )
-        out[size] = {"ipc": stats.ipc, "slip": stats.average_slip}
-    return out
+        for size in (8, 16, 32, 48, 96, 192)
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {
+        size: {"ipc": results[spec].ipc, "slip": results[spec].average_slip}
+        for size, spec in specs.items()
+    }
 
 
 def render_iq_depth(data: dict) -> str:
@@ -106,15 +123,16 @@ def render_iq_depth(data: dict) -> str:
     )
 
 
-def rob(n_threads: int = 4, l2_latency: int = 64, seed: int = 0) -> dict:
+def rob(n_threads: int = 4, l2_latency: int = 64, seed: int = 0, engine=None) -> dict:
     """ROB size sensitivity (the paper does not list a size)."""
-    out = {}
-    for size in (64, 128, 256, 512):
-        stats = run_multiprogrammed(
+    specs = {
+        size: RunSpec.multiprogrammed(
             n_threads, l2_latency=l2_latency, seed=seed, rob_size=size
         )
-        out[size] = {"ipc": stats.ipc}
-    return out
+        for size in (64, 128, 256, 512)
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {size: {"ipc": results[spec].ipc} for size, spec in specs.items()}
 
 
 def render_rob(data: dict) -> str:

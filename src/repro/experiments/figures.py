@@ -1,9 +1,16 @@
 """Per-figure experiment drivers.
 
-Each ``figN()`` function runs the simulations behind one figure of the paper
-and returns a plain-dict data structure; each ``render_figN()`` turns that
-into the same rows/series the paper plots, as text tables. The CLI
+Each ``figN()`` function describes the simulations behind one figure of
+the paper as a batch of :class:`~repro.engine.spec.RunSpec`, submits the
+whole batch to the experiment engine **once**, and assembles a plain-dict
+data structure from the returned mapping; each ``render_figN()`` turns
+that into the same rows/series the paper plots, as text tables. The CLI
 (``repro-sim figure figN``) and the benchmark harness both call these.
+
+Pass ``engine=`` to control parallelism and caching; the default is a
+serial, cache-less engine so results are bit-for-bit reproducible in unit
+tests. Result ordering never depends on completion order, so any worker
+count renders identical tables.
 
 Figure inventory (see DESIGN.md for the per-experiment index):
 
@@ -21,7 +28,7 @@ Figure inventory (see DESIGN.md for the per-experiment index):
 
 from __future__ import annotations
 
-from repro.experiments.runner import run_multiprogrammed, run_single_benchmark
+from repro.engine import RunSpec, Sweep, submit
 from repro.isa.opclass import Unit
 from repro.stats.report import format_table
 from repro.workloads.profiles import BENCH_ORDER
@@ -32,14 +39,20 @@ LATENCIES = (1, 16, 32, 64, 128, 256)
 
 # --------------------------------------------------------------------- figure 1
 
-def fig1(latencies=LATENCIES, benches=None, seed: int = 0) -> dict:
+def fig1(latencies=LATENCIES, benches=None, seed: int = 0, engine=None) -> dict:
     """Section-2 sweep: per-benchmark latency-hiding effectiveness."""
     benches = list(benches or BENCH_ORDER)
+    specs = {
+        (bench, lat): RunSpec.single(bench, l2_latency=lat, seed=seed)
+        for bench in benches
+        for lat in latencies
+    }
+    results = submit(Sweep(specs.values()), engine)
     out: dict = {"latencies": list(latencies), "benches": benches, "runs": {}}
     for bench in benches:
         per_lat = {}
         for lat in latencies:
-            stats = run_single_benchmark(bench, l2_latency=lat, seed=seed)
+            stats = results[specs[bench, lat]]
             per_lat[lat] = {
                 "ipc": stats.ipc,
                 "perceived_fp": stats.perceived_fp_latency,
@@ -105,11 +118,16 @@ def render_fig1(data: dict) -> str:
 
 # --------------------------------------------------------------------- figure 3
 
-def fig3(thread_counts=(1, 2, 3, 4, 5, 6), seed: int = 0) -> dict:
+def fig3(thread_counts=(1, 2, 3, 4, 5, 6), seed: int = 0, engine=None) -> dict:
     """Issue-slot breakdown vs thread count (decoupled, L2 = 16)."""
+    specs = {
+        nt: RunSpec.multiprogrammed(nt, l2_latency=16, decoupled=True, seed=seed)
+        for nt in thread_counts
+    }
+    results = submit(Sweep(specs.values()), engine)
     out: dict = {"threads": list(thread_counts), "runs": {}}
     for nt in thread_counts:
-        stats = run_multiprogrammed(nt, l2_latency=16, decoupled=True, seed=seed)
+        stats = results[specs[nt]]
         out["runs"][nt] = {
             "ipc": stats.ipc,
             "ap": stats.slot_fractions(Unit.AP),
@@ -145,27 +163,30 @@ def render_fig3(data: dict) -> str:
 # --------------------------------------------------------------------- figure 4
 
 def fig4(
-    latencies=LATENCIES, thread_counts=(1, 2, 3, 4), seed: int = 0
+    latencies=LATENCIES, thread_counts=(1, 2, 3, 4), seed: int = 0, engine=None
 ) -> dict:
     """Latency tolerance of the 8 configurations (sections 3.2)."""
+    sweep = Sweep.grid(
+        RunSpec.multiprogrammed,
+        decoupled=(True, False),
+        n_threads=thread_counts,
+        l2_latency=latencies,
+        seed=seed,
+    )
+    results = submit(sweep, engine)
     out: dict = {
         "latencies": list(latencies),
         "threads": list(thread_counts),
         "runs": {},
     }
-    for decoupled in (True, False):
-        for nt in thread_counts:
-            per_lat = {}
-            for lat in latencies:
-                stats = run_multiprogrammed(
-                    nt, l2_latency=lat, decoupled=decoupled, seed=seed
-                )
-                per_lat[lat] = {
-                    "ipc": stats.ipc,
-                    "perceived": stats.perceived_load_latency,
-                    "bus": stats.bus_utilization,
-                }
-            out["runs"][(decoupled, nt)] = per_lat
+    for spec in sweep:
+        out["runs"].setdefault((spec.decoupled, spec.n_threads), {})[
+            spec.l2_latency
+        ] = {
+            "ipc": results[spec].ipc,
+            "perceived": results[spec].perceived_load_latency,
+            "bus": results[spec].bus_utilization,
+        }
     return out
 
 
@@ -212,19 +233,31 @@ def fig5(
     threads_16=tuple(range(1, 8)),
     threads_64=tuple(range(1, 17)),
     seed: int = 0,
+    engine=None,
 ) -> dict:
     """Thread-count sweeps at L2 = 16 and L2 = 64 (section 3.3)."""
-    out: dict = {"series": {}}
+    series = {}
+    sweep = Sweep()
     for lat, counts in ((16, threads_16), (64, threads_64)):
         for decoupled in (True, False):
             label = f"L2={lat} {'dec' if decoupled else 'non-dec'}"
-            pts = {}
-            for nt in counts:
-                stats = run_multiprogrammed(
+            series[label] = {
+                nt: RunSpec.multiprogrammed(
                     nt, l2_latency=lat, decoupled=decoupled, seed=seed
                 )
-                pts[nt] = {"ipc": stats.ipc, "bus": stats.bus_utilization}
-            out["series"][label] = pts
+                for nt in counts
+            }
+            sweep = sweep + Sweep(series[label].values())
+    results = submit(sweep, engine)
+    out: dict = {"series": {}}
+    for label, specs in series.items():
+        out["series"][label] = {
+            nt: {
+                "ipc": results[spec].ipc,
+                "bus": results[spec].bus_utilization,
+            }
+            for nt, spec in specs.items()
+        }
     return out
 
 

@@ -1,45 +1,41 @@
 """Experiment execution helpers.
 
-Every figure driver funnels through :func:`run_multiprogrammed` (paper
-section 3 experiments) or :func:`run_single_benchmark` (section 2), which
-build the machine + workload, warm it up, run the measured region and return
-the finalised :class:`~repro.stats.counters.SimStats`.
+Since the engine refactor these are thin wrappers: each call builds a
+frozen :class:`~repro.engine.spec.RunSpec` and executes it in-process.
+Figure/ablation drivers no longer call these directly — they build a
+:class:`~repro.engine.spec.Sweep` and submit the whole batch to an
+:class:`~repro.engine.scheduler.Engine` — but the one-run entry points
+remain for tests, examples and the ``run``/``bench`` CLI commands.
 
 Instruction budgets scale with ``REPRO_SCALE`` (a float environment
-variable, default 1.0) so the benchmark harness can run quick smoke sweeps
-while the full harness reproduces the numbers recorded in EXPERIMENTS.md.
+variable, default 1.0, captured into the spec at build time) so the
+benchmark harness can run quick smoke sweeps while the full harness
+reproduces the numbers recorded in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-import os
-
-from repro.core.config import paper_config
-from repro.core.processor import Processor
+from repro.engine.spec import (
+    COMMITS_PER_THREAD,
+    SEG_INSTRS,
+    SINGLE_COMMITS,
+    SINGLE_WARMUP,
+    WARMUP_PER_THREAD,
+    RunSpec,
+    scale_factor,
+)
 from repro.stats.counters import SimStats
-from repro.workloads.multiprogram import multiprogram, single_program
 
-#: measured commits per hardware context in multithreaded runs
-COMMITS_PER_THREAD = 15_000
-#: warm-up commits per hardware context (discarded)
-WARMUP_PER_THREAD = 8_000
-#: trace segment length per benchmark in multiprogrammed playlists
-SEG_INSTRS = 20_000
-#: single-benchmark (section 2) budgets
-SINGLE_COMMITS = 30_000
-SINGLE_WARMUP = 15_000
-
-
-def scale_factor() -> float:
-    """Global instruction-budget scale (``REPRO_SCALE`` env var)."""
-    try:
-        return max(0.05, float(os.environ.get("REPRO_SCALE", "1.0")))
-    except ValueError:
-        return 1.0
-
-
-def _scaled(n: int) -> int:
-    return max(500, int(n * scale_factor()))
+__all__ = [
+    "COMMITS_PER_THREAD",
+    "SEG_INSTRS",
+    "SINGLE_COMMITS",
+    "SINGLE_WARMUP",
+    "WARMUP_PER_THREAD",
+    "run_multiprogrammed",
+    "run_single_benchmark",
+    "scale_factor",
+]
 
 
 def run_multiprogrammed(
@@ -53,19 +49,16 @@ def run_multiprogrammed(
     **config_overrides,
 ) -> SimStats:
     """One paper-section-3 run: rotated SPEC FP95 mix on all contexts."""
-    cfg = paper_config(
-        n_threads=n_threads,
-        decoupled=decoupled,
+    return RunSpec.multiprogrammed(
+        n_threads,
         l2_latency=l2_latency,
+        decoupled=decoupled,
+        seed=seed,
+        commits_per_thread=commits_per_thread,
+        warmup_per_thread=warmup_per_thread,
+        seg_instrs=seg_instrs,
         **config_overrides,
-    )
-    playlists = multiprogram(n_threads, seg_instrs=seg_instrs, seed=seed)
-    proc = Processor(cfg, playlists, seed=seed)
-    commits = _scaled(commits_per_thread or COMMITS_PER_THREAD) * n_threads
-    warmup = _scaled(warmup_per_thread or WARMUP_PER_THREAD) * n_threads
-    return proc.run(
-        max_commits=commits, warmup_commits=warmup, max_cycles=4_000_000
-    )
+    ).execute()
 
 
 def run_single_benchmark(
@@ -79,17 +72,13 @@ def run_single_benchmark(
     **config_overrides,
 ) -> SimStats:
     """One paper-section-2 run: a single benchmark on one context."""
-    cfg = paper_config(
-        n_threads=1,
-        decoupled=decoupled,
+    return RunSpec.single(
+        bench,
         l2_latency=l2_latency,
         scale_with_latency=scale_with_latency,
+        decoupled=decoupled,
+        seed=seed,
+        commits=commits,
+        warmup=warmup,
         **config_overrides,
-    )
-    commits = _scaled(commits or SINGLE_COMMITS)
-    warmup = _scaled(warmup or SINGLE_WARMUP)
-    playlists = single_program(bench, n_instrs=max(commits, 20_000), seed=seed)
-    proc = Processor(cfg, playlists, seed=seed)
-    return proc.run(
-        max_commits=commits, warmup_commits=warmup, max_cycles=8_000_000
-    )
+    ).execute()

@@ -16,7 +16,7 @@ Implements the paper's three headline metrics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.isa.opclass import Unit
 
@@ -164,6 +164,39 @@ class SimStats:
         row = self.slot_counts[int(unit)]
         total = sum(row)
         return row[SLOT_USEFUL] / total if total else 0.0
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Faithful JSON-safe dump of every counter field.
+
+        Round-trips exactly through :meth:`from_dict` (JSON string keys are
+        restored to ints), so results can cross process boundaries and live
+        in the on-disk result cache without losing information.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "committed_per_thread":
+                value = {str(k): v for k, v in value.items()}
+            elif f.name == "slot_counts":
+                value = [list(row) for row in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so newer
+        readers tolerate older cache entries (and vice versa)."""
+        known = {f.name for f in fields(cls)}
+        kw = {k: v for k, v in d.items() if k in known}
+        if "committed_per_thread" in kw:
+            kw["committed_per_thread"] = {
+                int(k): int(v) for k, v in (kw["committed_per_thread"] or {}).items()
+            }
+        if "slot_counts" in kw:
+            kw["slot_counts"] = [list(row) for row in kw["slot_counts"]]
+        return cls(**kw)
 
     def snapshot(self) -> dict:
         """Plain-dict summary used by reports and experiment tables."""

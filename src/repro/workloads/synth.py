@@ -58,6 +58,7 @@ cache *lines* or salts, only (intentionally) cache sets.
 from __future__ import annotations
 
 import random
+import zlib
 
 from repro.isa.instruction import StaticInst
 from repro.isa.opclass import OpClass
@@ -140,10 +141,14 @@ class KernelSynthesizer:
 
     def __init__(self, profile: BenchProfile, seed: int = 0):
         self.profile = profile
+        # zlib.crc32, not hash(): str hashing is salted per process, which
+        # would make traces (and every simulation result) differ between
+        # invocations and across scheduler worker processes
+        name_hash = zlib.crc32(profile.name.encode("utf-8"))
         self.rng = random.Random(
-            (hash(profile.name) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+            (name_hash ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
         )
-        self.code_base = 0x400000 + (abs(hash(profile.name)) % 64) * 0x10000
+        self.code_base = 0x400000 + (name_hash % 64) * 0x10000
         # gather index arrays: resident codes keep them inside the 4 KB
         # index zone; others stream (folded) at the benchmark's scale
         if profile.ws_bytes >= RESIDENT_CAP:

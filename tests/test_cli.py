@@ -1,13 +1,18 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 
 
 @pytest.fixture(autouse=True)
-def fast_scale(monkeypatch):
+def fast_scale(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_SCALE", "0.08")
+    # keep tests hermetic: never touch ~/.cache, never spawn a pool
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_WORKERS", "1")
 
 
 class TestParser:
@@ -22,6 +27,18 @@ class TestParser:
     def test_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig9"])
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig3", "--workers", "2", "--no-cache",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.workers == 2
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/x"
+
+    def test_help_documents_repro_scale(self):
+        assert "REPRO_SCALE" in build_parser().format_help()
 
 
 class TestCommands:
@@ -45,8 +62,73 @@ class TestCommands:
 
     def test_figure_command(self, capsys):
         assert main(["figure", "fig3"]) == 0
-        assert "Figure 3" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "cached" in out and "simulated" in out
+
+    def test_figure_warm_cache_simulates_nothing(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        first = capsys.readouterr().out
+        assert "0 cached" in first
+        assert main(["figure", "fig3"]) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated" in second
+
+        # tables must be byte-identical between cold and warm runs
+        def tables(out):
+            return [l for l in out.splitlines() if not l.startswith("[fig3:")]
+
+        assert tables(first) == tables(second)
+
+    def test_figure_no_cache(self, capsys):
+        assert main(["figure", "fig3", "--no-cache"]) == 0
+        assert main(["figure", "fig3", "--no-cache"]) == 0
+        assert "0 cached" in capsys.readouterr().out
 
     def test_ablation_command(self, capsys):
         assert main(["ablation", "fetch_policy"]) == 0
         assert "fetch policy" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_multiprogrammed_grid_json(self, capsys):
+        assert main(["sweep", "--threads", "1,2", "--latencies", "16",
+                     "--modes", "dec,non", "--commits", "1500"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 4
+        assert doc["n_executed"] == 4
+        labels = [run["label"] for run in doc["runs"]]
+        assert labels == [
+            "1T L2=16 dec", "1T L2=16 non-dec",
+            "2T L2=16 dec", "2T L2=16 non-dec",
+        ]
+        for run in doc["runs"]:
+            assert run["stats"]["ipc"] > 0
+            assert run["spec"]["scale"] == pytest.approx(0.08)
+
+    def test_sweep_reads_cache(self, capsys):
+        args = ["sweep", "--threads", "1", "--latencies", "16",
+                "--commits", "1500"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_cached"] == 1 and doc["n_executed"] == 0
+
+    def test_bench_grid(self, capsys):
+        assert main(["sweep", "--benches", "applu", "--latencies", "16",
+                     "--commits", "1500"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 1
+        assert doc["runs"][0]["spec"]["kind"] == "single"
+
+    def test_rejects_unknown_mode(self, capsys):
+        assert main(["sweep", "--modes", "sideways"]) == 2
+
+    def test_rejects_malformed_int_lists(self, capsys):
+        assert main(["sweep", "--latencies", "16x"]) == 2
+        assert main(["sweep", "--threads", "1;2"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_rejects_unknown_bench(self, capsys):
+        assert main(["sweep", "--benches", "gcc"]) == 2

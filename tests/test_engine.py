@@ -1,0 +1,216 @@
+"""Experiment engine: spec hashing, sweeps, cache, scheduler (tiny budgets)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.engine import Engine, ResultCache, RunSpec, Sweep, submit
+from repro.engine.cache import default_cache_dir
+from repro.engine.scheduler import resolve_workers
+from repro.stats.counters import SimStats
+
+
+@pytest.fixture(autouse=True)
+def fast_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+
+
+def tiny_spec(**kw):
+    """A spec cheap enough to execute inside a unit test."""
+    base = dict(
+        n_threads=1, l2_latency=16, seed=0,
+        commits_per_thread=1500, warmup_per_thread=500, seg_instrs=3000,
+    )
+    base.update(kw)
+    return RunSpec.multiprogrammed(**base)
+
+
+class TestRunSpecIdentity:
+    def test_same_description_same_key(self):
+        assert tiny_spec() == tiny_spec()
+        assert tiny_spec().key() == tiny_spec().key()
+
+    @pytest.mark.parametrize("change", [
+        {"n_threads": 2},
+        {"l2_latency": 64},
+        {"decoupled": False},
+        {"seed": 1},
+        {"commits_per_thread": 1501},
+        {"seg_instrs": 3001},
+        {"fetch_policy": "rr"},     # config override
+    ])
+    def test_any_field_change_changes_key(self, change):
+        assert tiny_spec(**change).key() != tiny_spec().key()
+
+    def test_scale_change_changes_key(self, monkeypatch):
+        a = tiny_spec()
+        monkeypatch.setenv("REPRO_SCALE", "0.16")
+        b = tiny_spec()
+        assert a.scale != b.scale
+        assert a.key() != b.key()
+        # and explicitly pinned scales behave the same way
+        assert tiny_spec(scale=0.1).key() != tiny_spec(scale=0.2).key()
+
+    def test_override_order_is_canonical(self):
+        a = RunSpec.multiprogrammed(1, mshrs=8, fetch_policy="rr")
+        b = RunSpec.multiprogrammed(1, fetch_policy="rr", mshrs=8)
+        assert a == b and a.key() == b.key()
+
+    def test_dict_round_trip(self):
+        spec = tiny_spec(fetch_policy="rr", mshrs=8)
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_single_requires_bench(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="single")
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="bogus")
+
+
+class TestSweep:
+    def test_grid_expansion_order(self):
+        sweep = Sweep.grid(
+            RunSpec.multiprogrammed,
+            n_threads=(1, 2),
+            l2_latency=(16, 64),
+            decoupled=True,          # scalar axis: held constant
+        )
+        assert len(sweep) == 4
+        assert [(s.n_threads, s.l2_latency) for s in sweep] == [
+            (1, 16), (1, 64), (2, 16), (2, 64)
+        ]
+
+    def test_concat_and_dedupe(self):
+        sweep = Sweep.of(tiny_spec()) + Sweep.of(tiny_spec(), tiny_spec(seed=1))
+        assert len(sweep) == 3
+        assert len(sweep.deduped()) == 2
+
+    def test_filter(self):
+        sweep = Sweep.grid(RunSpec.multiprogrammed, n_threads=(1, 2, 3))
+        assert len(sweep.filter(lambda s: s.n_threads > 1)) == 2
+
+
+class TestSimStatsRoundTrip:
+    def test_handmade_stats(self):
+        stats = SimStats(
+            cycles=100, committed=42, committed_per_thread={0: 30, 1: 12},
+            loads_fp=7, perceived_stall_fp=19, bus_utilization=0.25,
+        )
+        stats.slot_counts[0][2] = 5
+        clone = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+        assert clone.committed_per_thread == {0: 30, 1: 12}  # int keys back
+
+    def test_simulated_stats(self):
+        stats = tiny_spec().execute()
+        clone = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+        assert clone.ipc == stats.ipc
+
+    def test_unknown_keys_ignored(self):
+        d = SimStats(cycles=1).to_dict()
+        d["from_the_future"] = 1
+        assert SimStats.from_dict(d).cycles == 1
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        assert cache.get(spec) is None
+        stats = spec.execute()
+        cache.put(spec, stats)
+        assert spec in cache
+        assert cache.get(spec) == stats
+
+    def test_no_cross_spec_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(tiny_spec(), tiny_spec().execute())
+        assert cache.get(tiny_spec(seed=1)) is None
+        assert cache.get(tiny_spec(scale=0.5)) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.execute())
+        cache.path_for(spec).write_text("not json")
+        assert cache.get(spec) is None
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        assert default_cache_dir() == tmp_path / "x"
+
+
+class TestEngine:
+    def test_serial_map_ordering_and_dedupe(self):
+        specs = [tiny_spec(seed=1), tiny_spec(), tiny_spec(seed=1)]
+        results = submit(specs)
+        assert list(results) == [tiny_spec(seed=1), tiny_spec()]
+        assert results.n_executed == 2 and results.n_cached == 0
+        assert all(s.committed > 0 for s in results.values())
+
+    def test_memo_dedupes_across_maps(self):
+        engine = Engine.serial()
+        first = engine.run(tiny_spec())
+        again = engine.map([tiny_spec()])
+        assert again.n_cached == 1 and again.n_executed == 0
+        assert again[tiny_spec()] == first
+
+    def test_warm_disk_cache_runs_nothing(self, tmp_path):
+        sweep = Sweep.of(tiny_spec(), tiny_spec(seed=1))
+        cold = Engine(workers=1, cache=ResultCache(tmp_path)).map(sweep)
+        assert cold.n_executed == 2
+        warm = Engine(workers=1, cache=ResultCache(tmp_path)).map(sweep)
+        assert warm.n_executed == 0 and warm.n_cached == 2
+        assert warm == cold
+
+    def test_parallel_equals_serial(self, tmp_path):
+        sweep = Sweep.of(
+            tiny_spec(), tiny_spec(seed=1), tiny_spec(l2_latency=32)
+        )
+        serial = Engine(workers=1).map(sweep)
+        parallel = Engine(workers=2, cache=ResultCache(tmp_path)).map(sweep)
+        assert list(parallel) == list(serial)
+        for spec in sweep:
+            assert parallel[spec].to_dict() == serial[spec].to_dict()
+        # the parallel run populated the cache as results landed
+        assert Engine(cache=ResultCache(tmp_path)).map(sweep).n_executed == 0
+
+    def test_resolve_workers(self, monkeypatch):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers() >= 1
+
+    def test_drivers_accept_engine(self, tmp_path):
+        # the figure drivers submit through whatever engine they are given
+        from repro.experiments import figures
+
+        engine = Engine(workers=1, cache=ResultCache(tmp_path))
+        data = figures.fig3(thread_counts=(1,), engine=engine)
+        assert data["runs"][1]["ipc"] > 0
+        assert engine.n_executed == 1
+        figures.fig3(thread_counts=(1,), engine=engine)
+        assert engine.n_executed == 1  # second pass fully cached
+
+
+class TestDeepCopySafety:
+    def test_caller_mutation_cannot_corrupt_memo(self):
+        # the engine hands out independent objects: mutating a returned
+        # result (even nested fields) must not poison later hits
+        engine = Engine.serial()
+        a = engine.run(tiny_spec())
+        pristine = copy.deepcopy(a)
+        a.slot_counts[0][0] += 1
+        a.committed_per_thread[99] = 1
+        a.committed += 7
+        again = engine.run(tiny_spec())
+        assert again == pristine
+        assert again != a
