@@ -10,6 +10,10 @@ Subcommands:
   latencies x modes) defined on the command line, emitted as JSON.
 * ``run`` — one custom simulation (threads / latency / mode / budgets).
 * ``bench NAME`` — one single-threaded benchmark run with a full report.
+* ``perf`` — measure *simulator* performance (simulated cycles/s and
+  committed instructions/s) on pinned workloads, report the idle-cycle
+  fast-forward speedup on the headline workload, write a ``BENCH_*.json``
+  document and optionally gate against a committed baseline.
 
 Every simulation goes through the experiment engine: batches fan out over
 worker processes (``--workers``, default ``$REPRO_WORKERS`` or all cores)
@@ -28,7 +32,8 @@ import time
 from repro.engine import Engine, ResultCache, RunSpec, Sweep
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.figures import FIGURES, LATENCIES
-from repro.stats.report import format_run
+from repro.experiments import perf as perf_mod
+from repro.stats.report import format_perf, format_run
 from repro.workloads.profiles import BENCH_ORDER
 
 EPILOG = """\
@@ -131,6 +136,7 @@ def _cmd_sweep(args) -> int:
             decoupled=modes,
             seed=args.seed,
             commits=args.commits,
+            **_deadlock_overrides(args),
         )
     else:
         sweep = Sweep.grid(
@@ -140,6 +146,7 @@ def _cmd_sweep(args) -> int:
             decoupled=modes,
             seed=args.seed,
             commits_per_thread=args.commits,
+            **_deadlock_overrides(args),
         )
     engine = _engine_from_args(args)
     t0 = time.time()
@@ -163,6 +170,39 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _deadlock_overrides(args) -> dict:
+    """Config overrides shared by the run-building subcommands."""
+    if getattr(args, "deadlock_cycles", None) is not None:
+        return {"deadlock_cycles": args.deadlock_cycles}
+    return {}
+
+
+def _cmd_perf(args) -> int:
+    doc = perf_mod.run_perf(
+        quick=args.quick,
+        progress=lambda msg: print(f"[perf] {msg}", file=sys.stderr),
+    )
+    print(format_perf(doc))
+    if args.output:
+        perf_mod.write_doc(doc, args.output)
+        print(f"\n[wrote {args.output}]", file=sys.stderr)
+    if args.check:
+        baseline = perf_mod.load_doc(args.check)
+        failures = perf_mod.check_regression(
+            doc, baseline, tolerance=args.tolerance,
+            ratios_only=args.ratios_only,
+        )
+        if failures:
+            print(
+                f"\nPERF REGRESSION vs {args.check}:", file=sys.stderr
+            )
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"\n[no regression vs {args.check}]", file=sys.stderr)
+    return 0
+
+
 def _cmd_run(args) -> int:
     spec = RunSpec.multiprogrammed(
         args.threads,
@@ -170,6 +210,7 @@ def _cmd_run(args) -> int:
         decoupled=not args.non_decoupled,
         seed=args.seed,
         commits_per_thread=args.commits,
+        **_deadlock_overrides(args),
     )
     stats = _engine_from_args(args).run(spec)
     mode = "non-decoupled" if args.non_decoupled else "decoupled"
@@ -189,6 +230,7 @@ def _cmd_bench(args) -> int:
         l2_latency=args.latency,
         decoupled=not args.non_decoupled,
         seed=args.seed,
+        **_deadlock_overrides(args),
     )
     stats = _engine_from_args(args).run(spec)
     print(format_run(stats, f"{args.name} (1 thread, L2={args.latency})"))
@@ -206,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+    machine_flags = argparse.ArgumentParser(add_help=False)
+    machine_flags.add_argument(
+        "--deadlock-cycles", type=int, default=None, metavar="N",
+        help="cycles without a commit before declaring the pipeline wedged "
+             "(default: MachineConfig.deadlock_cycles = 100000; raise for "
+             "very long-latency sweeps)",
+    )
 
     engine_flags = argparse.ArgumentParser(add_help=False)
     g = engine_flags.add_argument_group("engine")
@@ -241,7 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run an ad-hoc grid and print JSON",
-        parents=[engine_flags],
+        parents=[engine_flags, machine_flags],
         description=(
             "Expand a grid of runs (threads x latencies x modes for the "
             "multiprogrammed workload, or benches x latencies x modes for "
@@ -265,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
-        "run", help="one custom multithreaded run", parents=[engine_flags]
+        "run", help="one custom multithreaded run",
+        parents=[engine_flags, machine_flags],
     )
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--latency", type=int, default=16, help="L2 latency (cycles)")
@@ -275,12 +326,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(
-        "bench", help="one single-threaded benchmark run", parents=[engine_flags]
+        "bench", help="one single-threaded benchmark run",
+        parents=[engine_flags, machine_flags],
     )
     p.add_argument("name", help=f"one of: {', '.join(BENCH_ORDER)}")
     p.add_argument("--latency", type=int, default=16)
     p.add_argument("--non-decoupled", action="store_true")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "perf",
+        help="measure simulator performance on pinned workloads",
+        description=(
+            "Measure simulated-cycles-per-second and committed-instructions-"
+            "per-second on a pinned workload set (always simulated: no "
+            "result cache, serial, REPRO_SCALE ignored), report the "
+            "idle-cycle fast-forward speedup on the headline 1-thread "
+            "L2=256 fig1 workload, and optionally write the JSON document "
+            "and gate against a committed baseline."
+        ),
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="halved budgets (CI smoke mode)",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the perf JSON document here (e.g. BENCH_PR2.json)",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare against a baseline perf JSON; non-zero exit on "
+             "regression beyond --tolerance",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRAC",
+        help="allowed fractional throughput/speedup drop vs the baseline "
+             "(default: 0.30)",
+    )
+    p.add_argument(
+        "--ratios-only", action="store_true",
+        help="with --check: compare only machine-independent ratios "
+             "(fast-forward speedup, bit-identity) — use when the baseline "
+             "was recorded on different hardware (CI does)",
+    )
+    p.set_defaults(func=_cmd_perf)
     return parser
 
 

@@ -6,6 +6,8 @@ from repro.core.predictor import BimodalBHT
 from repro.core.processor import Processor, SimulationError
 from repro.core.queues import InstQueue, StoreAddressQueue
 from repro.core.rename import RenameFile
+from repro.core.stages import Stage, build_stages
+from repro.core.state import MachineState
 
 __all__ = [
     "MachineConfig",
@@ -13,6 +15,9 @@ __all__ = [
     "paper_config",
     "Processor",
     "SimulationError",
+    "MachineState",
+    "Stage",
+    "build_stages",
     "ThreadContext",
     "BimodalBHT",
     "RenameFile",

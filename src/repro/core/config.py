@@ -57,6 +57,13 @@ class MachineConfig:
     ep_regs: int = 96          # EP physical registers
     commit_width: int = 8      # per-thread graduation bandwidth
 
+    # -- simulation safety net ---------------------------------------------------
+    #: cycles without a commit before the simulator declares the pipeline
+    #: wedged and raises. Long-latency sweeps (L2 >= 256 with many threads)
+    #: can legitimately go tens of thousands of cycles without graduating;
+    #: tune this upward rather than patching the processor.
+    deadlock_cycles: int = 100_000
+
     # -- memory system ---------------------------------------------------------------
     l1_bytes: int = 64 * 1024
     line_bytes: int = 32
@@ -89,6 +96,8 @@ class MachineConfig:
             )
         if self.l2_latency < 1:
             raise ValueError("L2 latency must be >= 1")
+        if self.deadlock_cycles < 1:
+            raise ValueError("deadlock_cycles must be >= 1")
         if self.fetch_policy not in ("icount", "rr"):
             raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
 

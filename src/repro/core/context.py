@@ -22,6 +22,14 @@ from repro.workloads.wrongpath import WrongPathGenerator
 class ThreadContext:
     """All replicated per-context state of the multithreaded machine."""
 
+    __slots__ = (
+        "tid", "wrap", "cfg", "playlist", "play_idx", "trace", "pos",
+        "salt", "_salt_by_region", "bht", "fetch_buf", "wrong_path",
+        "wp_gen", "wp_queue", "branch_resume", "rename", "rob",
+        "aq", "iq", "uq", "saq", "unresolved_branches",
+        "seq", "committed", "last_ap_seq",
+    )
+
     def __init__(
         self,
         tid: int,

@@ -1,12 +1,18 @@
-"""The cycle-accurate multithreaded decoupled access/execute pipeline.
+"""The cycle-accurate multithreaded decoupled access/execute machine.
 
-One :class:`Processor` instance models the whole machine of the paper's
-Figure 2: replicated per-thread front ends and queues
+One :class:`Processor` models the whole machine of the paper's Figure 2:
+replicated per-thread front ends and queues
 (:class:`~repro.core.context.ThreadContext`), shared issue slots and
 functional units (4 AP + 4 EP), and a shared memory system.
 
-Per-cycle phase order (later phases see earlier phases' effects in the same
-cycle, which models the natural pipeline flow):
+Since the staged-kernel refactor the ``Processor`` is a thin *scheduler*:
+all machine state lives in an explicit
+:class:`~repro.core.state.MachineState` and each per-cycle phase is a
+:class:`~repro.core.stages.Stage` object; the stage list is composed from
+the :class:`~repro.core.config.MachineConfig` (decoupled vs. unified issue
+are two stage variants, not branches).  Per-cycle phase order — later
+phases see earlier phases' effects in the same cycle, which models the
+natural pipeline flow:
 
 1. **writeback** — functional-unit and memory completions set scoreboard
    bits; branches resolve, mispredictions squash (walk-back recovery);
@@ -19,41 +25,30 @@ cycle, which models the natural pipeline flow):
 6. **fetch** — two threads per cycle (I-COUNT policy), up to 8 instructions
    each, stopping at a predicted-taken branch; mispredicted branches switch
    the thread onto a synthetic wrong path until they resolve.
+
+**Idle-cycle fast-forward.**  Under long L2 latencies a 1-thread machine
+spends most cycles completely idle: every issue-queue head waits on an
+in-flight memory or functional-unit event and no fetch, dispatch, commit
+or store drain can make progress.  ``run()`` detects those windows (every
+stage reports :meth:`~repro.core.stages.Stage.quiescent`) and jumps
+``cycle`` straight to the next completion event, bulk-attributing the
+skipped empty issue slots and perceived-latency stalls.  The resulting
+statistics are *bit-identical* to the cycle-by-cycle walk — enforced by a
+differential test over the Figure-3 grid — because a window is only
+entered when each skipped cycle is provably a pure function of its
+round-robin phase.  ``step()`` always advances exactly one cycle, so
+cycle-granular tooling (e.g. :class:`~repro.stats.tracing.Tracer`) is
+unaffected; pass ``fast_forward=False`` to ``run()`` to force the
+per-cycle walk everywhere.
 """
 
 from __future__ import annotations
 
-import heapq
-
 from repro.core.config import MachineConfig
-from repro.core.context import ThreadContext
-from repro.isa.instruction import (
-    DynInst,
-    ST_COMPLETED,
-    ST_DISPATCHED,
-    ST_ISSUED,
-    ST_SQUASHED,
-)
-from repro.isa.opclass import OpClass, Unit
+from repro.core.state import MachineState
+from repro.core.stages import build_stages
 from repro.isa.trace import Trace
-from repro.memory.hierarchy import MemorySystem, S_BLOCKED, S_HIT, S_MISS
-from repro.stats.counters import (
-    SLOT_IDLE,
-    SLOT_OTHER,
-    SLOT_USEFUL,
-    SLOT_WAIT_FU,
-    SLOT_WAIT_MEM,
-    SLOT_WRONG_PATH,
-    SimStats,
-)
-
-_OP_BRANCH = OpClass.BRANCH
-_OP_LOAD_F = OpClass.LOAD_F
-_OP_LOAD_I = OpClass.LOAD_I
-_OP_STORE_F = OpClass.STORE_F
-_OP_STORE_I = OpClass.STORE_I
-_UNIT_AP = Unit.AP
-_UNIT_EP = Unit.EP
+from repro.stats.counters import SimStats
 
 
 class SimulationError(RuntimeError):
@@ -61,7 +56,7 @@ class SimulationError(RuntimeError):
 
 
 class Processor:
-    """The multithreaded decoupled processor (paper Figure 2)."""
+    """Thin scheduler over a stage list and a shared machine state."""
 
     def __init__(
         self,
@@ -70,505 +65,146 @@ class Processor:
         seed: int = 0,
         wrap: bool = True,
     ):
-        if len(playlists) != cfg.n_threads:
-            raise ValueError(
-                f"config asks for {cfg.n_threads} threads but "
-                f"{len(playlists)} playlists were provided"
-            )
         self.cfg = cfg
-        self.mem = MemorySystem(
-            l1_bytes=cfg.l1_bytes,
-            line_bytes=cfg.line_bytes,
-            l1_ports=cfg.l1_ports,
-            mshrs=cfg.mshrs,
-            l2_latency=cfg.l2_latency,
-            bus_bytes_per_cycle=cfg.bus_bytes_per_cycle,
-            l1_hit_latency=cfg.l1_hit_latency,
-        )
-        self.threads = [
-            ThreadContext(t, cfg, playlists[t], seed=seed, wrap=wrap)
-            for t in range(cfg.n_threads)
-        ]
-        self._finite = not wrap
-        self.stats = SimStats()
-        self.cycle = 0
-        self.total_committed = 0
-        self._events: list[tuple[int, int, DynInst]] = []
-        self._evseq = 0
-        self._rr_issue = 0
-        self._rr_dispatch = 0
-        self._last_commit_cycle = 0
-        #: cycles without a commit before declaring deadlock
-        self.deadlock_cycles = 100_000
+        self.state = MachineState(cfg, playlists, seed=seed, wrap=wrap)
+        self.stages = build_stages(cfg)
+        # fast-forward diagnostics (not part of SimStats: both stepping
+        # modes must produce bit-identical statistics)
+        self.ff_jumps = 0
+        self.ff_cycles_skipped = 0
 
-    # ------------------------------------------------------------------ events
+    # -- state passthroughs (the public reading surface predates the
+    # -- staged kernel; tests, examples and the tracer all use these) ----------
 
-    def _complete_later(self, inst: DynInst, cycle: int) -> None:
-        self._evseq += 1
-        heapq.heappush(self._events, (cycle, self._evseq, inst))
+    @property
+    def mem(self):
+        return self.state.mem
 
-    # --------------------------------------------------------------- writeback
+    @property
+    def threads(self):
+        return self.state.threads
 
-    def _writeback(self) -> None:
-        events = self._events
-        now = self.cycle
-        threads = self.threads
-        while events and events[0][0] <= now:
-            inst = heapq.heappop(events)[2]
-            t = threads[inst.thread]
-            if inst.state == ST_SQUASHED:
-                # zombie: squashed while in flight; reclaim its register
-                t.rename.free(inst.pdest)
-                continue
-            inst.state = ST_COMPLETED
-            inst.complete_cycle = now
-            p = inst.pdest
-            if p >= 0:
-                t.rename.ready[p] = 1
-            if inst.static.op == _OP_BRANCH and not inst.wrong_path:
-                t.unresolved_branches -= 1
-                if inst.pred_taken != inst.static.taken:
-                    self._squash(t, inst)
+    @property
+    def stats(self) -> SimStats:
+        return self.state.stats
 
-    def _squash(self, t: ThreadContext, branch: DynInst) -> None:
-        """Walk-back recovery from a mispredicted branch."""
-        stats = self.stats
-        stats.squashes += 1
-        seq = branch.seq
-        t.fetch_buf.clear()
-        t.resume_from(seq)
-        if self.cfg.decoupled:
-            t.aq.squash_tail(seq)
-            t.iq.squash_tail(seq)
-        else:
-            t.uq.squash_tail(seq)
-        t.saq.squash_tail(seq)
-        rob = t.rob
-        rename = t.rename
-        while rob and rob[-1].seq > seq:
-            d = rob.pop()
-            stats.squashed_instructions += 1
-            if d.static.op == _OP_BRANCH:
-                t.unresolved_branches -= 1
-                t.branch_resume.pop(d.seq, None)
-            if d.pdest >= 0:
-                rename.undo_rename(d.static.dest, d.pdest, d.old_pdest)
-                if d.state != ST_ISSUED:
-                    # not in flight: reclaim now; in-flight registers are
-                    # reclaimed when their completion event drains
-                    rename.free(d.pdest)
-            d.state = ST_SQUASHED
+    @property
+    def cycle(self) -> int:
+        return self.state.cycle
 
-    # ------------------------------------------------------------------- commit
+    @property
+    def total_committed(self) -> int:
+        return self.state.total_committed
 
-    def _commit(self) -> None:
-        stats = self.stats
-        width = self.cfg.commit_width
-        any_commit = False
-        for t in self.threads:
-            n = width
-            rob = t.rob
-            rename = t.rename
-            ready = rename.ready
-            while n and rob:
-                d = rob[0]
-                if d.state != ST_COMPLETED:
-                    break
-                if d.pdata >= 0 and not ready[d.pdata]:
-                    break  # store whose data is not yet available
-                if d.static.is_store:
-                    d.store_ready = True
-                rob.popleft()
-                if d.old_pdest >= 0:
-                    rename.free(d.old_pdest)
-                t.committed += 1
-                stats.committed += 1
-                self.total_committed += 1
-                any_commit = True
-                n -= 1
-        if any_commit:
-            self._last_commit_cycle = self.cycle
+    @property
+    def deadlock_cycles(self) -> int:
+        """Cycles without a commit before declaring deadlock (defaults to
+        ``cfg.deadlock_cycles``; assignable per instance)."""
+        return self.state.deadlock_cycles
 
-    # -------------------------------------------------------------------- issue
-
-    def _try_issue(self, t: ThreadContext, d: DynInst, now: int):
-        """Attempt to issue one instruction.
-
-        Returns ``None`` on success, else ``(slot_category, load, consumer)``
-        describing why the queue head is blocked.
-        """
-        rename = t.rename
-        ready = rename.ready
-        for p in d.psrcs:
-            if not ready[p]:
-                prod = rename.producer[p]
-                if prod is not None and prod.load_miss and prod.state == ST_ISSUED:
-                    return (SLOT_WAIT_MEM, prod, d)
-                return (SLOT_WAIT_FU, None, d)
-        op = d.static.op
-        cfg = self.cfg
-        stats = self.stats
-        if op == _OP_LOAD_F or op == _OP_LOAD_I:
-            mem = self.mem
-            fwd = t.saq.find_older_match(d.static.addr, d.seq)
-            if fwd is not None:
-                if fwd.pdata >= 0 and not ready[fwd.pdata]:
-                    return (SLOT_OTHER, None, d)
-                # store-to-load forwarding: completes like a hit
-                self._complete_later(d, now + 1 + mem.hit_latency)
-                if not d.wrong_path:
-                    if op == _OP_LOAD_F:
-                        stats.loads_fp += 1
-                    else:
-                        stats.loads_int += 1
-            else:
-                if not mem.port_available():
-                    return (SLOT_OTHER, None, d)
-                status, when = mem.load(t.salted(d.static.addr), now)
-                if status == S_BLOCKED:
-                    return (SLOT_OTHER, None, d)
-                mem.claim_port()
-                self._complete_later(d, when + 1)  # +1: address generation
-                if status != S_HIT:
-                    d.load_miss = True
-                if not d.wrong_path:
-                    if op == _OP_LOAD_F:
-                        stats.loads_fp += 1
-                        if status == S_MISS:
-                            stats.load_misses_fp += 1
-                        elif status != S_HIT:
-                            stats.load_merged_fp += 1
-                    else:
-                        stats.loads_int += 1
-                        if status == S_MISS:
-                            stats.load_misses_int += 1
-                        elif status != S_HIT:
-                            stats.load_merged_int += 1
-        elif d.unit == _UNIT_AP:
-            # IALU, BRANCH, ITOF, store address generation
-            self._complete_later(d, now + cfg.ap_latency)
-        else:
-            # FALU, FTOI
-            self._complete_later(d, now + cfg.ep_latency)
-        d.state = ST_ISSUED
-        d.issue_cycle = now
-        stats.issued += 1
-        unit = int(d.unit)
-        if d.wrong_path:
-            stats.issued_wrong_path += 1
-            stats.slot_counts[unit][SLOT_WRONG_PATH] += 1
-        else:
-            stats.slot_counts[unit][SLOT_USEFUL] += 1
-            if unit == 1:
-                # slip: how far the AP's issue point runs ahead of the EP's
-                slip = t.last_ap_seq - d.seq
-                if slip > 0:
-                    stats.slip_total += slip
-                stats.slip_samples += 1
-            elif d.seq > t.last_ap_seq:
-                t.last_ap_seq = d.seq
-        return None
-
-    def _account_slots(self, unit: int, free: int, blocked: list) -> None:
-        """Attribute empty issue slots and perceived-latency stall cycles."""
-        stats = self.stats
-        if free <= 0:
-            return
-        counts = stats.slot_counts[unit]
-        if blocked:
-            k = len(blocked)
-            for s in range(free):
-                counts[blocked[s % k][0]] += 1
-        else:
-            counts[SLOT_IDLE] += free
-        # Perceived latency: one stall cycle per consumer blocked on an
-        # outstanding load miss while a free slot exists (paper section 3.2),
-        # bounded by the number of free slots.
-        attributed = 0
-        for reason, load, consumer in blocked:
-            if attributed >= free:
-                break
-            if (
-                reason == SLOT_WAIT_MEM
-                and load is not None
-                and not load.wrong_path
-                and not consumer.wrong_path
-            ):
-                if load.static.op == _OP_LOAD_F:
-                    stats.perceived_stall_fp += 1
-                else:
-                    stats.perceived_stall_int += 1
-                attributed += 1
-
-    def _issue(self) -> None:
-        cfg = self.cfg
-        now = self.cycle
-        threads = self.threads
-        n = len(threads)
-        start = self._rr_issue
-        self._rr_issue = (start + 1) % n
-        if cfg.decoupled:
-            ap_free = cfg.ap_width
-            ap_blocked: list = []
-            for i in range(n):
-                if not ap_free:
-                    break
-                t = threads[(start + i) % n]
-                q = t.aq.q
-                while ap_free and q:
-                    res = self._try_issue(t, q[0], now)
-                    if res is None:
-                        q.popleft()
-                        ap_free -= 1
-                    else:
-                        ap_blocked.append(res)
-                        break
-            ep_free = cfg.ep_width
-            ep_blocked: list = []
-            for i in range(n):
-                if not ep_free:
-                    break
-                t = threads[(start + i) % n]
-                q = t.iq.q
-                while ep_free and q:
-                    res = self._try_issue(t, q[0], now)
-                    if res is None:
-                        q.popleft()
-                        ep_free -= 1
-                    else:
-                        ep_blocked.append(res)
-                        break
-            self._account_slots(0, ap_free, ap_blocked)
-            self._account_slots(1, ep_free, ep_blocked)
-        else:
-            ap_free = cfg.ap_width
-            ep_free = cfg.ep_width
-            ap_blocked = []
-            ep_blocked = []
-            for i in range(n):
-                if not ap_free and not ep_free:
-                    break
-                t = threads[(start + i) % n]
-                q = t.uq.q
-                while q:
-                    d = q[0]
-                    if d.unit == _UNIT_AP:
-                        if not ap_free:
-                            break
-                    elif not ep_free:
-                        break
-                    res = self._try_issue(t, d, now)
-                    if res is None:
-                        q.popleft()
-                        if d.unit == _UNIT_AP:
-                            ap_free -= 1
-                        else:
-                            ep_free -= 1
-                    else:
-                        if d.unit == _UNIT_AP:
-                            ap_blocked.append(res)
-                        else:
-                            ep_blocked.append(res)
-                        break
-            self._account_slots(0, ap_free, ap_blocked)
-            self._account_slots(1, ep_free, ep_blocked)
-
-    # -------------------------------------------------------------- store drain
-
-    def _drain_stores(self) -> None:
-        mem = self.mem
-        now = self.cycle
-        stats = self.stats
-        for t in self.threads:
-            saq = t.saq
-            while saq.q:
-                d = saq.q[0]
-                if not d.store_ready or d.mem_done:
-                    break
-                if not mem.port_available():
-                    return
-                status, _when = mem.store(t.salted(d.static.addr), now)
-                if status == S_BLOCKED:
-                    break
-                mem.claim_port()
-                d.mem_done = True
-                saq.release_head()
-                stats.stores += 1
-                if status == S_MISS:
-                    stats.store_misses += 1
-                elif status != S_HIT:
-                    stats.store_merged += 1
-
-    # ----------------------------------------------------------------- dispatch
-
-    def _can_dispatch(self, t: ThreadContext, d: DynInst) -> bool:
-        cfg = self.cfg
-        if len(t.rob) >= cfg.rob_size:
-            return False
-        s = d.static
-        op = s.op
-        if op == _OP_BRANCH and t.unresolved_branches >= cfg.max_unresolved_branches:
-            return False
-        if (op == _OP_STORE_F or op == _OP_STORE_I) and t.saq.full:
-            return False
-        if cfg.decoupled:
-            q = t.iq if d.unit == _UNIT_EP else t.aq
-        else:
-            q = t.uq
-        if q.full:
-            return False
-        dest = s.dest
-        if dest is not None and not t.rename.can_rename_dest(dest):
-            return False
-        return True
-
-    def _do_dispatch(self, t: ThreadContext, d: DynInst) -> None:
-        rename = t.rename
-        s = d.static
-        op = s.op
-        if op == _OP_STORE_F or op == _OP_STORE_I:
-            srcs = s.srcs
-            d.psrcs = rename.srcs_of(srcs[:1])
-            if len(srcs) > 1:
-                data = srcs[1]
-                if data != 31 and data != 63:  # hardwired zeros
-                    d.pdata = rename.map[data]
-            t.saq.push(d)
-        else:
-            d.psrcs = rename.srcs_of(s.srcs)
-        dest = s.dest
-        if dest is not None:
-            d.pdest, d.old_pdest = rename.rename_dest(dest)
-            if d.pdest >= 0:
-                rename.set_producer(d.pdest, d)
-        if op == _OP_BRANCH:
-            t.unresolved_branches += 1
-        if self.cfg.decoupled:
-            (t.iq if d.unit == _UNIT_EP else t.aq).push(d)
-        else:
-            t.uq.push(d)
-        t.rob.append(d)
-        self.stats.dispatched += 1
-
-    def _dispatch(self) -> None:
-        budget = self.cfg.dispatch_width
-        threads = self.threads
-        n = len(threads)
-        start = self._rr_dispatch
-        self._rr_dispatch = (start + 1) % n
-        for i in range(n):
-            if not budget:
-                break
-            t = threads[(start + i) % n]
-            buf = t.fetch_buf
-            while budget and buf:
-                d = buf[0]
-                if not self._can_dispatch(t, d):
-                    break
-                buf.popleft()
-                self._do_dispatch(t, d)
-                budget -= 1
-
-    # -------------------------------------------------------------------- fetch
-
-    def _fetch_thread(self, t: ThreadContext) -> None:
-        cfg = self.cfg
-        stats = self.stats
-        n = min(cfg.fetch_width, cfg.fetch_buffer - len(t.fetch_buf))
-        now = self.cycle
-        buf = t.fetch_buf
-        while n > 0:
-            if t.exhausted and not t.wrong_path:
-                break
-            if t.wrong_path:
-                s = t.next_wp_inst()
-                d = DynInst(s, t.tid, t.seq, True)
-                t.seq += 1
-                d.fetch_cycle = now
-                buf.append(d)
-                stats.fetched += 1
-                stats.fetched_wrong_path += 1
-                n -= 1
-                continue
-            s = t.cur_static()
-            d = DynInst(s, t.tid, t.seq, False)
-            t.seq += 1
-            d.fetch_cycle = now
-            t.advance()
-            buf.append(d)
-            stats.fetched += 1
-            n -= 1
-            if s.op == _OP_BRANCH:
-                pred = t.bht.predict_and_update(s.pc, s.taken)
-                d.pred_taken = pred
-                stats.branches += 1
-                if pred != s.taken:
-                    stats.branch_mispredicts += 1
-                    t.wrong_path = True
-                    t.mark_resume(d.seq)
-                if pred:
-                    break  # a predicted-taken branch ends the fetch group
-
-    def _fetch(self) -> None:
-        cfg = self.cfg
-        threads = self.threads
-        n = len(threads)
-        cands = [t for t in threads if len(t.fetch_buf) < cfg.fetch_buffer]
-        if not cands:
-            return
-        start = self.cycle % n
-        if cfg.fetch_policy == "icount":
-            cands.sort(key=lambda t: (len(t.fetch_buf), (t.tid - start) % n))
-        else:
-            cands.sort(key=lambda t: (t.tid - start) % n)
-        for t in cands[: cfg.fetch_threads]:
-            self._fetch_thread(t)
+    @deadlock_cycles.setter
+    def deadlock_cycles(self, value: int) -> None:
+        self.state.deadlock_cycles = value
 
     # ---------------------------------------------------------------- main loop
 
     def step(self) -> None:
-        """Advance the machine by one cycle."""
-        self.mem.begin_cycle()
-        self._writeback()
-        self._commit()
-        self._issue()
-        self._drain_stores()
-        self._dispatch()
-        self._fetch()
-        self.cycle += 1
-        self.stats.cycles += 1
-        if self.cycle - self._last_commit_cycle > self.deadlock_cycles:
-            raise SimulationError(
-                f"no commits for {self.deadlock_cycles} cycles at cycle "
-                f"{self.cycle}; pipeline state is wedged"
-            )
+        """Advance the machine by exactly one cycle."""
+        st = self.state
+        st.mem.begin_cycle()
+        for stage in self.stages:
+            stage.tick(st)
+        st.cycle += 1
+        st.stats.cycles += 1
+        if st.cycle - st.last_commit_cycle > st.deadlock_cycles:
+            self._raise_deadlock()
+
+    def _raise_deadlock(self) -> None:
+        st = self.state
+        raise SimulationError(
+            f"no commits for {st.deadlock_cycles} cycles at cycle "
+            f"{st.cycle}; pipeline state is wedged"
+        )
+
+    def _fast_forward(self, cycle_limit: int | None) -> int:
+        """Attempt one idle-window jump; returns the cycles skipped (0 when
+        the machine is not provably idle).
+
+        Eligibility: every stage reports quiescent, so nothing can change
+        until the earliest completion event drains.  The jump target is
+        that event's cycle, capped by the caller's cycle limit and by the
+        deadlock horizon — reaching the horizon raises exactly the
+        :class:`SimulationError` the per-cycle walk would have raised, with
+        the same statistics attributed.
+        """
+        st = self.state
+        for stage in self.stages:
+            if not stage.quiescent(st):
+                return 0
+        target = st.last_commit_cycle + st.deadlock_cycles + 1
+        nxt = st.next_event_cycle()
+        if nxt is not None and nxt < target:
+            target = nxt
+        if cycle_limit is not None and cycle_limit < target:
+            target = cycle_limit
+        k = target - st.cycle
+        if k <= 0:
+            return 0
+        for stage in self.stages:
+            stage.skip(st, k)
+        st.cycle = target
+        st.stats.cycles += k
+        self.ff_jumps += 1
+        self.ff_cycles_skipped += k
+        if st.cycle - st.last_commit_cycle > st.deadlock_cycles:
+            self._raise_deadlock()
+        return k
+
+    def _progress_mark(self) -> int:
+        """Cheap monotone counter that changes whenever a cycle moved any
+        instruction through the pipeline; used to gate fast-forward
+        attempts so busy cycles pay one integer sum, not a full scan."""
+        s = self.state.stats
+        return s.fetched + s.dispatched + s.issued + s.committed + s.stores
 
     def finished(self) -> bool:
         """True when a finite (non-wrapping) run has fully drained."""
-        if self._events:
+        st = self.state
+        if st.events:
             return False
-        for t in self.threads:
+        decoupled = self.cfg.decoupled
+        for t in st.threads:
             if not t.exhausted or t.wrong_path:
                 return False
             if t.rob or t.fetch_buf:
                 return False
-            if t.aq.q or t.iq.q or t.uq.q or t.saq.q:
+            if decoupled:
+                if t.aq.q or t.iq.q:
+                    return False
+            elif t.uq.q:
+                return False
+            if t.saq.q:
                 return False
         return True
 
     def reset_stats(self) -> None:
         """Zero every statistic (used at the warm-up boundary)."""
-        self.stats = SimStats()
-        self.mem.reset_stats()
-        for t in self.threads:
+        st = self.state
+        st.stats = SimStats()
+        st.mem.reset_stats()
+        for t in st.threads:
             t.committed = 0
-        self._last_commit_cycle = self.cycle
+        st.last_commit_cycle = st.cycle
+        # keep the fast-forward diagnostics in the same region as the stats
+        self.ff_jumps = 0
+        self.ff_cycles_skipped = 0
 
     def run(
         self,
         max_commits: int | None = None,
         max_cycles: int | None = 2_000_000,
         warmup_commits: int = 0,
+        fast_forward: bool = True,
     ) -> SimStats:
         """Run the machine and return the (finalised) statistics.
 
@@ -577,37 +213,54 @@ class Processor:
             max_cycles: hard cycle bound (post warm-up).
             warmup_commits: commits to execute (and discard) before the
                 measured region starts.
+            fast_forward: jump over provably idle windows (statistics are
+                bit-identical either way; disable only to measure or to
+                differentially test the per-cycle walk).
         """
         if max_commits is None and max_cycles is None:
             raise ValueError("need at least one stop condition")
+        st = self.state
         if warmup_commits:
-            target = self.total_committed + warmup_commits
-            while self.total_committed < target:
+            target = st.total_committed + warmup_commits
+            idle_hint = False
+            while st.total_committed < target:
+                if idle_hint and fast_forward and self._fast_forward(None):
+                    idle_hint = False
+                    continue
+                before = self._progress_mark()
                 self.step()
+                idle_hint = self._progress_mark() == before
             self.reset_stats()
         commit_target = (
-            self.total_committed + max_commits if max_commits else None
+            st.total_committed + max_commits if max_commits else None
         )
-        cycle_limit = self.cycle + max_cycles if max_cycles else None
+        cycle_limit = st.cycle + max_cycles if max_cycles else None
+        idle_hint = False
         while True:
-            if commit_target is not None and self.total_committed >= commit_target:
+            if commit_target is not None and st.total_committed >= commit_target:
                 break
-            if cycle_limit is not None and self.cycle >= cycle_limit:
+            if cycle_limit is not None and st.cycle >= cycle_limit:
                 break
-            if self._finite and self.finished():
+            if st.finite and self.finished():
                 break
+            if idle_hint and fast_forward and self._fast_forward(cycle_limit):
+                idle_hint = False
+                continue
+            before = self._progress_mark()
             self.step()
+            idle_hint = self._progress_mark() == before
         return self.snapshot()
 
     def snapshot(self) -> SimStats:
         """Finalise and return the statistics object."""
-        stats = self.stats
-        stats.bus_utilization = self.mem.bus_utilization(stats.cycles)
-        stats.line_fills = self.mem.fills
-        stats.writebacks = self.mem.writebacks
-        stats.mshr_alloc_failures = self.mem.mshrs.alloc_failures
+        st = self.state
+        stats = st.stats
+        stats.bus_utilization = st.mem.bus_utilization(stats.cycles)
+        stats.line_fills = st.mem.fills
+        stats.writebacks = st.mem.writebacks
+        stats.mshr_alloc_failures = st.mem.mshrs.alloc_failures
         stats.committed_per_thread = {
-            t.tid: t.committed for t in self.threads
+            t.tid: t.committed for t in st.threads
         }
         return stats
 
@@ -615,7 +268,7 @@ class Processor:
 
     def check_invariants(self) -> None:
         """Structural invariants (used by the property tests)."""
-        for t in self.threads:
+        for t in self.state.threads:
             t.rename.check_invariants()
             seqs = [d.seq for d in t.rob]
             assert seqs == sorted(seqs), "ROB out of program order"

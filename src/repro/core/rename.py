@@ -21,6 +21,9 @@ from repro.isa.registers import FP_BASE, INT_ZERO, FP_ZERO, NUM_ARCH
 class RenameFile:
     """Per-thread rename state: map table, free lists, scoreboard."""
 
+    __slots__ = ("ap_regs", "ep_regs", "map", "free_ap", "free_ep",
+                 "ready", "producer")
+
     def __init__(self, ap_regs: int, ep_regs: int):
         self.ap_regs = ap_regs
         self.ep_regs = ep_regs
@@ -47,8 +50,27 @@ class RenameFile:
         return self.map[arch]
 
     def srcs_of(self, srcs: tuple[int, ...]) -> tuple[int, ...]:
-        """Rename a source list, dropping hardwired-zero registers."""
+        """Rename a source list, dropping hardwired-zero registers.
+
+        Unrolled for the 0/1/2-source shapes every trace instruction has;
+        dispatch calls this once per instruction.
+        """
         m = self.map
+        n = len(srcs)
+        if n == 1:
+            s0 = srcs[0]
+            if s0 == INT_ZERO or s0 == FP_ZERO:
+                return ()
+            return (m[s0],)
+        if n == 2:
+            s0, s1 = srcs
+            if s0 == INT_ZERO or s0 == FP_ZERO:
+                if s1 == INT_ZERO or s1 == FP_ZERO:
+                    return ()
+                return (m[s1],)
+            if s1 == INT_ZERO or s1 == FP_ZERO:
+                return (m[s0],)
+            return (m[s0], m[s1])
         return tuple(
             m[s] for s in srcs if s != INT_ZERO and s != FP_ZERO
         )

@@ -1,0 +1,107 @@
+"""The explicit shared machine state the pipeline stages operate on.
+
+:class:`MachineState` is the single mutable object threaded through every
+:class:`~repro.core.stages.Stage`: the shared memory system, the per-thread
+contexts, the statistics, the completion-event heap and the round-robin
+pointers.  Pulling it out of the old ``Processor`` monolith is what makes
+stages composable — a stage sees exactly the state every other stage sees,
+and a new pipeline variant is a new stage list over the same state, not a
+new branch inside a 600-line ``step()``.
+
+The completion-event heap is the machine's *only* clock-driven agenda:
+every in-flight instruction (functional-unit op or memory access) has
+exactly one entry ``(complete_cycle, seq, inst)``.  That property is what
+the idle-cycle fast-forward relies on — when nothing can retire, issue,
+dispatch, drain or fetch, the next cycle at which anything *can* change is
+the heap head.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.config import MachineConfig
+from repro.core.context import ThreadContext
+from repro.isa.instruction import DynInst
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemorySystem
+from repro.stats.counters import SimStats
+
+
+class MachineState:
+    """Everything the pipeline stages read and write.
+
+    Attribute conventions:
+
+    * ``cycle`` is the cycle currently being simulated; stages may consult
+      it but only the scheduler advances it.
+    * ``events`` is a min-heap of ``(cycle, seq, inst)`` completion events;
+      stages push via :meth:`complete_later` and only the writeback stage
+      pops.
+    * ``rr_issue`` / ``rr_dispatch`` are the round-robin starting-thread
+      pointers; the owning stage rotates its pointer once per cycle.
+    """
+
+    __slots__ = (
+        "cfg",
+        "mem",
+        "threads",
+        "stats",
+        "cycle",
+        "total_committed",
+        "events",
+        "evseq",
+        "rr_issue",
+        "rr_dispatch",
+        "last_commit_cycle",
+        "deadlock_cycles",
+        "finite",
+    )
+
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        playlists: list[list[Trace]],
+        seed: int = 0,
+        wrap: bool = True,
+    ):
+        if len(playlists) != cfg.n_threads:
+            raise ValueError(
+                f"config asks for {cfg.n_threads} threads but "
+                f"{len(playlists)} playlists were provided"
+            )
+        self.cfg = cfg
+        self.mem = MemorySystem(
+            l1_bytes=cfg.l1_bytes,
+            line_bytes=cfg.line_bytes,
+            l1_ports=cfg.l1_ports,
+            mshrs=cfg.mshrs,
+            l2_latency=cfg.l2_latency,
+            bus_bytes_per_cycle=cfg.bus_bytes_per_cycle,
+            l1_hit_latency=cfg.l1_hit_latency,
+        )
+        self.threads = [
+            ThreadContext(t, cfg, playlists[t], seed=seed, wrap=wrap)
+            for t in range(cfg.n_threads)
+        ]
+        self.finite = not wrap
+        self.stats = SimStats()
+        self.cycle = 0
+        self.total_committed = 0
+        self.events: list[tuple[int, int, DynInst]] = []
+        self.evseq = 0
+        self.rr_issue = 0
+        self.rr_dispatch = 0
+        self.last_commit_cycle = 0
+        self.deadlock_cycles = cfg.deadlock_cycles
+
+    # -- events -----------------------------------------------------------------
+
+    def complete_later(self, inst: DynInst, cycle: int) -> None:
+        """Schedule ``inst``'s completion (writeback) at ``cycle``."""
+        self.evseq += 1
+        heapq.heappush(self.events, (cycle, self.evseq, inst))
+
+    def next_event_cycle(self) -> int | None:
+        """Cycle of the earliest pending completion, or ``None``."""
+        return self.events[0][0] if self.events else None

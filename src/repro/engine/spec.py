@@ -25,7 +25,8 @@ from repro.stats.counters import SimStats
 
 #: bump when the spec schema or execution semantics change incompatibly;
 #: part of the hashed payload, so stale cache entries simply stop matching.
-SPEC_VERSION = 1
+#: v2: wrong-path synthesis cycles a pooled PC-wrap period (PR 2).
+SPEC_VERSION = 2
 
 #: measured commits per hardware context in multithreaded runs
 COMMITS_PER_THREAD = 15_000
@@ -178,8 +179,14 @@ class RunSpec:
 
     # -- execution ---------------------------------------------------------------
 
-    def execute(self) -> SimStats:
-        """Build the machine + workload and run the measured region."""
+    def instantiate(self) -> tuple:
+        """Build the configured machine and its run budgets.
+
+        Returns ``(processor, run_kwargs)`` so callers that need the
+        machine itself — the perf harness times ``proc.run(**kwargs)`` in
+        isolation, with workload construction excluded — share one
+        spec-to-machine translation with :meth:`execute`.
+        """
         # imported here so the spec layer stays importable without pulling
         # the whole pipeline in (and to keep worker start-up lazy)
         from repro.core.config import paper_config
@@ -206,7 +213,7 @@ class RunSpec:
                 * self.n_threads
             )
             proc = Processor(cfg, playlists, seed=self.seed)
-            return proc.run(
+            return proc, dict(
                 max_commits=commits, warmup_commits=warmup, max_cycles=4_000_000
             )
 
@@ -223,9 +230,14 @@ class RunSpec:
             self.bench, n_instrs=max(commits, 20_000), seed=self.seed
         )
         proc = Processor(cfg, playlists, seed=self.seed)
-        return proc.run(
+        return proc, dict(
             max_commits=commits, warmup_commits=warmup, max_cycles=8_000_000
         )
+
+    def execute(self) -> SimStats:
+        """Build the machine + workload and run the measured region."""
+        proc, run_kwargs = self.instantiate()
+        return proc.run(**run_kwargs)
 
 
 def _as_axis(value) -> tuple:

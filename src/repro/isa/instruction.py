@@ -31,7 +31,8 @@ class StaticInst:
         target: taken-branch target pc (branches only; 0 otherwise).
     """
 
-    __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken", "target", "unit")
+    __slots__ = ("pc", "op", "dest", "srcs", "addr", "taken", "target", "unit",
+                 "is_load", "is_store", "is_branch")
 
     def __init__(
         self,
@@ -50,20 +51,12 @@ class StaticInst:
         self.addr = addr
         self.taken = taken
         self.target = target
-        # Pre-steered at trace build time: saves a dict lookup per fetch.
+        # Pre-computed at trace build time: steering saves a dict lookup per
+        # fetch, the class predicates a property call per commit/dispatch.
         self.unit = steer(op)
-
-    @property
-    def is_load(self) -> bool:
-        return is_load(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store(self.op)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op == OpClass.BRANCH
+        self.is_load = is_load(op)
+        self.is_store = is_store(op)
+        self.is_branch = op == OpClass.BRANCH
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"pc={self.pc:#x}", self.op.name]

@@ -12,6 +12,14 @@ Wrong-path streams contain no branches (the mispredicted branch already pins
 the recovery point and the paper's AP permits only four unresolved branches)
 and no stores never reach memory anyway since wrong-path instructions are
 squashed before commit.
+
+The generator pre-builds one full PC-wrap period (0x4000 bytes = 4096
+instructions) and cycles it.  Besides removing per-instruction RNG and
+allocation cost from the fetch hot path, the cyclic pool is the more
+faithful model: a real wrong path falls into *adjacent, already-existing*
+code, so re-encountering the same instructions (and the same load
+addresses) on later mispredictions is exactly what happens in hardware —
+an endless stream of fresh random instructions is not.
 """
 
 from __future__ import annotations
@@ -38,18 +46,23 @@ class WrongPathGenerator:
         (OpClass.LOAD_I, 0.05),
     )
 
+    #: instructions per PC-wrap period: the pool the stream cycles through
+    _POOL_SIZE = 0x4000 // _INST_BYTES
+
     def __init__(self, seed: int, data_base: int = HOT_BASE,
                  data_span: int = 2 * 1024):
         self.rng = random.Random(seed)
         self.data_base = data_base
         self.data_span = data_span
-        self._pc = _WP_PC_BASE
+        self._pool: list[StaticInst] | None = None
+        self._pos = 0
 
-    def next_block(self, n: int) -> list[StaticInst]:
-        """Produce the next ``n`` wrong-path instructions."""
+    def _build_pool(self) -> list[StaticInst]:
+        """Synthesise one PC-wrap period of wrong-path instructions."""
         rng = self.rng
-        out = []
-        for _ in range(n):
+        pool = []
+        pc = _WP_PC_BASE
+        for _ in range(self._POOL_SIZE):
             x = rng.random()
             acc = 0.0
             op = OpClass.IALU
@@ -58,10 +71,6 @@ class WrongPathGenerator:
                 if x < acc:
                     op = candidate
                     break
-            pc = self._pc
-            self._pc += _INST_BYTES
-            if self._pc > _WP_PC_BASE + 0x4000:
-                self._pc = _WP_PC_BASE
             if op == OpClass.LOAD_F:
                 inst = StaticInst(
                     pc, op, dest=32 + 8 + rng.randrange(16),
@@ -79,5 +88,23 @@ class WrongPathGenerator:
             else:
                 d = 18 + rng.randrange(6)
                 inst = StaticInst(pc, op, dest=d, srcs=(d,))
-            out.append(inst)
+            pool.append(inst)
+            pc += _INST_BYTES
+        return pool
+
+    def next_block(self, n: int) -> list[StaticInst]:
+        """Produce the next ``n`` wrong-path instructions (cyclic pool)."""
+        pool = self._pool
+        if pool is None:
+            pool = self._pool = self._build_pool()
+        size = self._POOL_SIZE
+        pos = self._pos
+        end = pos + n
+        if end <= size:
+            out = pool[pos:end]
+        else:
+            out = pool[pos:]
+            whole, rem = divmod(end - size, size)
+            out += pool * whole + pool[:rem]
+        self._pos = end % size
         return out

@@ -1,0 +1,222 @@
+"""Differential tests: idle-cycle fast-forward vs per-cycle stepping.
+
+The staged kernel's fast-forward must be *bit-identical* to the plain
+cycle-by-cycle walk — same cycle counts, same issue-slot attribution, same
+perceived-latency stalls, same everything ``SimStats.to_dict()`` can see.
+These tests drive the Figure-3 grid plus randomized configurations through
+both stepping modes in chunks, calling ``check_invariants()`` between
+chunks, and assert exact equality of the full statistics dictionaries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import MachineConfig, paper_config
+from repro.core.processor import Processor, SimulationError
+from repro.core.stages import (
+    DecoupledIssueStage,
+    UnifiedIssueStage,
+    build_stages,
+)
+from repro.engine.spec import RunSpec
+from repro.workloads.multiprogram import single_program
+
+
+def run_checked(spec: RunSpec, fast_forward: bool, slices: int = 6):
+    """Execute a spec in commit-budget slices, checking structural
+    invariants between slices; returns ``(proc, final_stats)``."""
+    proc, kw = spec.instantiate()
+    total = kw["max_commits"]
+    warmup = kw["warmup_commits"]
+    per_slice = max(1, total // slices)
+    stats = None
+    first = True
+    while True:
+        done = stats.committed if stats is not None else 0
+        remaining = total - done
+        if remaining <= 0:
+            break
+        stats = proc.run(
+            max_commits=min(per_slice, remaining),
+            warmup_commits=warmup if first else 0,
+            max_cycles=kw["max_cycles"],
+            fast_forward=fast_forward,
+        )
+        first = False
+        proc.check_invariants()
+    return proc, stats
+
+
+def assert_differential(spec: RunSpec) -> Processor:
+    """Run ``spec`` both ways and assert bit-identical statistics."""
+    proc_ff, stats_ff = run_checked(spec, fast_forward=True)
+    proc_step, stats_step = run_checked(spec, fast_forward=False)
+    assert proc_step.ff_cycles_skipped == 0
+    d_ff, d_step = stats_ff.to_dict(), stats_step.to_dict()
+    diff = {
+        k: (d_ff[k], d_step[k]) for k in d_ff if d_ff[k] != d_step[k]
+    }
+    assert not diff, f"fast-forward diverged from stepping on {spec.label()}: {diff}"
+    assert proc_ff.cycle == proc_step.cycle
+    return proc_ff
+
+
+# Small budgets: the differential property holds cycle-for-cycle, so short
+# runs exercise it as strictly as long ones while keeping tier-1 fast.
+_BUDGET = dict(commits_per_thread=1200, warmup_per_thread=400, scale=1.0,
+               seg_instrs=4000)
+
+
+class TestFigure3Grid:
+    """The paper's Figure-3 grid: 1-6 threads, decoupled, L2 = 16."""
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 3, 4, 5, 6])
+    def test_bit_identical(self, n_threads):
+        assert_differential(
+            RunSpec.multiprogrammed(n_threads, l2_latency=16, **_BUDGET)
+        )
+
+
+class TestRandomizedConfigs:
+    """Two seeded-random machine configurations (the issue's satellite)."""
+
+    @pytest.mark.parametrize("draw", [0, 1])
+    def test_bit_identical(self, draw):
+        rng = random.Random(0x20260729 + draw)
+        spec = RunSpec.multiprogrammed(
+            rng.choice([1, 2, 3]),
+            l2_latency=rng.choice([32, 64, 128, 256]),
+            decoupled=rng.random() < 0.5,
+            seed=rng.randrange(100),
+            commits_per_thread=1000,
+            warmup_per_thread=300,
+            scale=1.0,
+            seg_instrs=4000,
+            iq_size=rng.choice([16, 48, 96]),
+            mshrs=rng.choice([4, 16, 32]),
+            fetch_threads=rng.choice([1, 2]),
+        )
+        assert_differential(spec)
+
+
+class TestIdleHeavyWorkloads:
+    """Where the fast-forward actually earns its keep: long-latency
+    machines that idle most cycles must still match exactly."""
+
+    def test_fig1_long_latency_single(self):
+        proc = assert_differential(
+            RunSpec.single("su2cor", l2_latency=256, scale=1.0,
+                           commits=4000, warmup=1000)
+        )
+        assert proc.ff_cycles_skipped > 0  # the windows really were taken
+
+    def test_non_decoupled_long_latency(self):
+        proc = assert_differential(
+            RunSpec.multiprogrammed(2, l2_latency=128, decoupled=False,
+                                    commits_per_thread=1500,
+                                    warmup_per_thread=300,
+                                    scale=1.0, seg_instrs=4000)
+        )
+        assert proc.ff_cycles_skipped > 0
+
+
+class TestDeadlockEquivalence:
+    """The deadlock horizon must fire at the same cycle, with the same
+    statistics, whether reached by stepping or by a fast-forward jump."""
+
+    def _machine(self):
+        cfg = paper_config(1, decoupled=True, l2_latency=500,
+                           deadlock_cycles=60)
+        playlists = single_program("tomcatv", n_instrs=2000, seed=0)
+        return Processor(cfg, playlists, seed=0)
+
+    def test_same_cycle_and_stats(self):
+        outcomes = []
+        for ff in (True, False):
+            proc = self._machine()
+            with pytest.raises(SimulationError) as exc:
+                proc.run(max_commits=2000, max_cycles=1_000_000,
+                         fast_forward=ff)
+            outcomes.append((proc.cycle, proc.stats.to_dict(), str(exc.value)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFiniteProgramDrain:
+    """Finite (non-wrapping) runs must drain to the same final state."""
+
+    def test_finished_identical(self):
+        from repro.isa.instruction import StaticInst
+        from repro.isa.opclass import OpClass
+        from repro.isa.trace import Trace
+
+        insts = []
+        pc = 0x1000
+        for i in range(40):
+            insts.append(StaticInst(pc, OpClass.LOAD_F, dest=40 + (i % 4),
+                                    srcs=(2,), addr=0x2000 + 64 * i))
+            insts.append(StaticInst(pc + 4, OpClass.FALU, dest=36,
+                                    srcs=(36, 40 + (i % 4))))
+            pc += 8
+        tr = Trace(insts, name="ff-drain")
+        results = []
+        for ff in (True, False):
+            cfg = MachineConfig(l2_latency=200)
+            proc = Processor(cfg, [[tr]], wrap=False)
+            stats = proc.run(max_cycles=50_000, fast_forward=ff)
+            assert proc.finished()
+            results.append(stats.to_dict())
+        assert results[0] == results[1]
+
+
+class TestStagedKernelComposition:
+    """The stage list is composed from the config, not branched at tick."""
+
+    def test_decoupled_stage_list(self):
+        stages = build_stages(MachineConfig(decoupled=True))
+        assert any(isinstance(s, DecoupledIssueStage) for s in stages)
+        assert not any(isinstance(s, UnifiedIssueStage) for s in stages)
+
+    def test_unified_stage_list(self):
+        stages = build_stages(MachineConfig(decoupled=False))
+        assert any(isinstance(s, UnifiedIssueStage) for s in stages)
+        assert not any(isinstance(s, DecoupledIssueStage) for s in stages)
+
+    def test_stage_order(self):
+        names = [s.name for s in build_stages(MachineConfig())]
+        assert names == [
+            "writeback", "commit", "issue/decoupled", "store-drain",
+            "dispatch", "fetch",
+        ]
+
+    def test_deadlock_cycles_from_config(self):
+        cfg = MachineConfig(deadlock_cycles=123)
+        proc = Processor(cfg, single_program("tomcatv", n_instrs=1000, seed=0))
+        assert proc.deadlock_cycles == 123
+        proc.deadlock_cycles = 456  # per-instance override still allowed
+        assert proc.state.deadlock_cycles == 456
+
+    def test_deadlock_cycles_validated(self):
+        with pytest.raises(ValueError):
+            MachineConfig(deadlock_cycles=0)
+
+    def test_finished_ignores_queues_of_other_mode(self):
+        """finished() must only inspect the queues the configured mode
+        actually uses (satellite fix: it used to touch all of them)."""
+        from repro.isa.instruction import DynInst, StaticInst
+        from repro.isa.opclass import OpClass
+        from repro.isa.trace import Trace
+
+        tr = Trace([StaticInst(0x1000, OpClass.IALU, dest=4, srcs=(4,))],
+                   name="one")
+        cfg = MachineConfig(decoupled=False)
+        proc = Processor(cfg, [[tr]], wrap=False)
+        proc.run(max_cycles=1000)
+        assert proc.finished()
+        # junk in the decoupled-mode queues is invisible to a unified machine
+        ghost = DynInst(tr[0], 0, 999, False)
+        proc.threads[0].aq.push(ghost)
+        proc.threads[0].iq.push(ghost)
+        assert proc.finished()
