@@ -10,16 +10,26 @@ Subcommands:
   latencies x modes) defined on the command line, emitted as JSON.
 * ``run`` — one custom simulation (threads / latency / mode / budgets).
 * ``bench NAME`` — one single-threaded benchmark run with a full report.
+* ``conformance`` — validate the analytic fast model against the cycle
+  backend over the Figure-4 grid; non-zero exit above the IPC tolerance.
+* ``golden`` — verify (or ``--refresh``) the golden-stats regression
+  corpus under ``tests/golden/``.
 * ``perf`` — measure *simulator* performance (simulated cycles/s and
   committed instructions/s) on pinned workloads, report the idle-cycle
   fast-forward speedup on the headline workload, write a ``BENCH_*.json``
   document and optionally gate against a committed baseline.
 
+``figure``, ``sweep``, ``run`` and ``bench`` take ``--backend
+{cycle,analytic}``: the faithful staged kernel, or the mean-value fast
+model (microseconds per run) for sweeps far beyond what cycle accuracy
+can afford.
+
 Every simulation goes through the experiment engine: batches fan out over
 worker processes (``--workers``, default ``$REPRO_WORKERS`` or all cores)
 and results land in a content-addressed cache (``--cache-dir``, disable
 with ``--no-cache``), so interrupted or repeated sweeps only simulate
-what is missing.
+what is missing. Cache entries are keyed by the full spec *including the
+backend*, so the two engines' results can never mix.
 """
 
 from __future__ import annotations
@@ -29,9 +39,11 @@ import json
 import sys
 import time
 
-from repro.engine import Engine, ResultCache, RunSpec, Sweep
+from repro.engine import Engine, ResultCache, RunSpec, Sweep, backend_names
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.figures import FIGURES, LATENCIES
+from repro.experiments import conformance as conf_mod
+from repro.experiments import golden as golden_mod
 from repro.experiments import perf as perf_mod
 from repro.stats.report import format_perf, format_run
 from repro.workloads.profiles import BENCH_ORDER
@@ -49,8 +61,11 @@ environment variables:
 
 examples:
   REPRO_SCALE=0.2 repro-sim figure fig4 --workers 4
+  repro-sim figure fig4 --backend analytic
   repro-sim sweep --threads 1,2,4 --latencies 16,64 --modes dec,non
   repro-sim ablation mshr --no-cache
+  repro-sim conformance --quick
+  repro-sim golden --refresh
 """
 
 
@@ -75,7 +90,7 @@ def _cmd_figure(args) -> int:
         build, render = FIGURES[name]
         before = (engine.n_cached, engine.n_executed)
         t0 = time.time()
-        data = build(seed=args.seed, engine=engine)
+        data = build(seed=args.seed, engine=engine, backend=args.backend)
         print(render(data))
         _print_batch_footer(name, engine, before, t0)
     return 0
@@ -136,6 +151,7 @@ def _cmd_sweep(args) -> int:
             decoupled=modes,
             seed=args.seed,
             commits=args.commits,
+            backend=args.backend,
             **_deadlock_overrides(args),
         )
     else:
@@ -146,6 +162,7 @@ def _cmd_sweep(args) -> int:
             decoupled=modes,
             seed=args.seed,
             commits_per_thread=args.commits,
+            backend=args.backend,
             **_deadlock_overrides(args),
         )
     engine = _engine_from_args(args)
@@ -203,6 +220,53 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    engine = _engine_from_args(args)
+    doc = conf_mod.run_conformance(
+        quick=args.quick,
+        seed=args.seed,
+        engine=engine,
+        tolerance=args.tolerance,
+        timing_specs=args.timing_specs,
+        progress=lambda msg: print(f"[conformance] {msg}", file=sys.stderr),
+    )
+    print(conf_mod.render_conformance(doc))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"\n[wrote {args.output}]", file=sys.stderr)
+    if not doc["passed"]:
+        print(
+            f"\nCONFORMANCE FAILURE: mean |IPC err| "
+            f"{doc['mean_abs_ipc_err'] * 100:.2f}% exceeds the "
+            f"{args.tolerance * 100:.0f}% tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_golden(args) -> int:
+    # never through the result cache: the whole point is comparing *live*
+    # semantics against the corpus, and a warm cache would happily serve
+    # pre-change stats for unchanged spec keys
+    engine = Engine(workers=args.workers, cache=None)
+    root = args.dir or golden_mod.default_root()
+    if args.refresh:
+        written = golden_mod.refresh(root, engine)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    problems = golden_mod.verify(root, engine)
+    if problems:
+        print(f"GOLDEN MISMATCH ({len(problems)}):", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("golden corpus conformant")
+    return 0
+
+
 def _cmd_run(args) -> int:
     spec = RunSpec.multiprogrammed(
         args.threads,
@@ -210,6 +274,7 @@ def _cmd_run(args) -> int:
         decoupled=not args.non_decoupled,
         seed=args.seed,
         commits_per_thread=args.commits,
+        backend=args.backend,
         **_deadlock_overrides(args),
     )
     stats = _engine_from_args(args).run(spec)
@@ -230,6 +295,7 @@ def _cmd_bench(args) -> int:
         l2_latency=args.latency,
         decoupled=not args.non_decoupled,
         seed=args.seed,
+        backend=args.backend,
         **_deadlock_overrides(args),
     )
     stats = _engine_from_args(args).run(spec)
@@ -257,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
              "very long-latency sweeps)",
     )
 
+    backend_flags = argparse.ArgumentParser(add_help=False)
+    backend_flags.add_argument(
+        "--backend", choices=backend_names(), default="cycle",
+        help="simulation engine: 'cycle' (faithful staged kernel) or "
+             "'analytic' (mean-value fast model, microseconds per run; "
+             "validated by 'repro-sim conformance')",
+    )
+
     engine_flags = argparse.ArgumentParser(add_help=False)
     g = engine_flags.add_argument_group("engine")
     g.add_argument(
@@ -277,7 +351,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
-        "figure", help="regenerate a paper figure", parents=[engine_flags]
+        "figure", help="regenerate a paper figure",
+        parents=[engine_flags, backend_flags],
     )
     p.add_argument("name", choices=sorted(FIGURES) + ["all"])
     p.set_defaults(func=_cmd_figure)
@@ -291,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run an ad-hoc grid and print JSON",
-        parents=[engine_flags, machine_flags],
+        parents=[engine_flags, machine_flags, backend_flags],
         description=(
             "Expand a grid of runs (threads x latencies x modes for the "
             "multiprogrammed workload, or benches x latencies x modes for "
@@ -316,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "run", help="one custom multithreaded run",
-        parents=[engine_flags, machine_flags],
+        parents=[engine_flags, machine_flags, backend_flags],
     )
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--latency", type=int, default=16, help="L2 latency (cycles)")
@@ -327,12 +402,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench", help="one single-threaded benchmark run",
-        parents=[engine_flags, machine_flags],
+        parents=[engine_flags, machine_flags, backend_flags],
     )
     p.add_argument("name", help=f"one of: {', '.join(BENCH_ORDER)}")
     p.add_argument("--latency", type=int, default=16)
     p.add_argument("--non-decoupled", action="store_true")
     p.set_defaults(func=_cmd_bench)
+
+    # golden deliberately takes no cache flags: it always compares *live*
+    # semantics, so advertising --cache-dir/--no-cache would be a lie
+    p = sub.add_parser(
+        "golden",
+        help="verify or refresh the golden-stats regression corpus",
+        description=(
+            "Re-run the pinned fig1/fig3/fig4 golden sub-grid on the "
+            "cycle backend (always freshly simulated, never from the "
+            "result cache) and diff it against the committed corpus "
+            "(tests/golden/). --refresh rewrites the corpus — do this "
+            "only for intentional semantics changes, together with a "
+            "SPEC_VERSION bump."
+        ),
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_WORKERS, else all cores)",
+    )
+    p.add_argument(
+        "--refresh", action="store_true",
+        help="rewrite the corpus from live runs instead of verifying",
+    )
+    p.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="corpus location (default: the repository's "
+             f"{golden_mod.DEFAULT_DIR})",
+    )
+    p.set_defaults(func=_cmd_golden)
+
+    p = sub.add_parser(
+        "conformance",
+        help="validate the analytic backend against the cycle backend",
+        parents=[engine_flags],
+        description=(
+            "Run both backends over the paper's Figure-4 grid, report "
+            "per-cell and aggregate error on IPC / perceived latency / "
+            "bus utilization, and measure the analytic backend's sweep "
+            "throughput. Exits non-zero when the mean absolute IPC error "
+            "exceeds the tolerance (CI gates on this)."
+        ),
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (CI smoke mode; combine with REPRO_SCALE)",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=conf_mod.TOLERANCE_IPC,
+        metavar="FRAC",
+        help="mean absolute relative IPC error allowed "
+             f"(default: {conf_mod.TOLERANCE_IPC})",
+    )
+    p.add_argument(
+        "--timing-specs", type=int, default=conf_mod.TIMING_SPECS,
+        metavar="N",
+        help="size of the analytic timing sweep (0 disables; "
+             f"default: {conf_mod.TIMING_SPECS})",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the conformance JSON document here",
+    )
+    p.set_defaults(func=_cmd_conformance)
 
     p = sub.add_parser(
         "perf",

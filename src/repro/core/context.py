@@ -19,6 +19,24 @@ from repro.isa.trace import Trace
 from repro.workloads.wrongpath import WrongPathGenerator
 
 
+def region_salts(cfg: MachineConfig, tid: int) -> tuple[int, dict[int, int]]:
+    """One thread's region-aware address salts: ``(default, by_region)``.
+
+    The data layout puts each region class in its own 64 MB space, so a
+    region is the address's 26-bit-shifted prefix. Store regions (prefix
+    22) and the hot region (prefix 23) get their own set-tiling strides;
+    gather tables (prefix 20) tile like stores; everything else uses the
+    stream salt. Shared by the cycle backend (:class:`ThreadContext`) and
+    the analytic model's characterization walk, so the two can never
+    disagree about where a thread's data lives.
+    """
+    return tid * cfg.salt_stream_bytes, {
+        20: tid * cfg.salt_store_bytes,
+        22: tid * cfg.salt_store_bytes,
+        23: tid * cfg.salt_hot_bytes,
+    }
+
+
 class ThreadContext:
     """All replicated per-context state of the multithreaded machine."""
 
@@ -47,17 +65,8 @@ class ThreadContext:
         self.play_idx = 0
         self.trace = playlist[0]
         self.pos = 0
-        # Region-aware per-thread data-address salts: the data layout puts
-        # each region class in its own 64 MB space, so the region is the
-        # address's 26-bit-shifted prefix. Store regions (prefix 22) and the
-        # hot region (prefix 23) get their own set-tiling strides; everything
-        # else uses the stream salt. See MachineConfig for the rationale.
-        self.salt = tid * cfg.salt_stream_bytes
-        self._salt_by_region = {
-            20: tid * cfg.salt_store_bytes,  # gather tables tile like stores
-            22: tid * cfg.salt_store_bytes,
-            23: tid * cfg.salt_hot_bytes,
-        }
+        # see region_salts() above (and MachineConfig for the rationale)
+        self.salt, self._salt_by_region = region_salts(cfg, tid)
 
         # front end
         self.bht = BimodalBHT(cfg.bht_entries)

@@ -14,6 +14,11 @@ same split the paper applies to the processor pipeline. Three layers:
 * **Persistence** (:mod:`repro.engine.cache`) — :class:`ResultCache` is a
   content-addressed on-disk store keyed by :meth:`RunSpec.key`, so reruns
   and interrupted sweeps resume for free.
+* **Backends** (:mod:`repro.engine.backends`) — the registry mapping
+  ``RunSpec.backend`` names to simulation engines: ``"cycle"`` (the staged
+  cycle-accurate kernel) and ``"analytic"`` (the mean-value fast model in
+  :mod:`repro.model`). The name is part of the spec's content hash, so the
+  cache never mixes backends.
 
 Typical driver::
 
@@ -24,6 +29,12 @@ Typical driver::
         print(spec.n_threads, spec.l2_latency, results[spec].ipc)
 """
 
+from repro.engine.backends import (
+    Backend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
 from repro.engine.scheduler import (
     WORKERS_ENV,
@@ -35,8 +46,12 @@ from repro.engine.scheduler import (
 from repro.engine.spec import RunSpec, Sweep, scale_factor
 
 __all__ = [
+    "Backend",
     "CACHE_DIR_ENV",
     "Engine",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "ResultCache",
     "RunSpec",
     "Sweep",

@@ -45,15 +45,21 @@ class ResultCache:
         return self.root / f"{spec.key()}.json"
 
     def get(self, spec: RunSpec) -> SimStats | None:
-        """The cached result, or ``None`` on a miss (or corrupt entry)."""
+        """The cached result, or ``None`` on a miss.
+
+        Any unreadable entry — missing file, truncated or invalid JSON, a
+        JSON document whose root is not an object (``AttributeError`` from
+        ``entry.get``), or a malformed ``stats`` payload — reads as a
+        miss; the next ``put`` simply overwrites it.
+        """
         path = self.path_for(spec)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
-            if entry.get("format") != CACHE_FORMAT:
+            if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT:
                 return None
             return SimStats.from_dict(entry["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
     def put(self, spec: RunSpec, stats: SimStats) -> Path:

@@ -20,6 +20,7 @@ import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable
 
+from repro.engine.backends import get_backend
 from repro.engine.cache import ResultCache
 from repro.engine.spec import RunSpec
 from repro.stats.counters import SimStats
@@ -104,12 +105,21 @@ class Engine:
                 misses.append(spec)
 
         if misses:
-            n_workers = min(resolve_workers(self.workers), len(misses))
-            if n_workers == 1:
-                for spec in misses:
-                    done[spec] = self._record(spec, spec.execute())
+            # Backends whose per-run cost is microseconds (the analytic
+            # model) run in this process: a worker pool would spend far
+            # longer on start-up and pickling than on the runs themselves.
+            pooled = [
+                s for s in misses
+                if get_backend(s.backend).process_pool_worthwhile
+            ]
+            n_workers = min(resolve_workers(self.workers), len(pooled))
+            if n_workers > 1:
+                inline = [s for s in misses if s not in set(pooled)]
+                self._map_parallel(pooled, n_workers, done)
             else:
-                self._map_parallel(misses, n_workers, done)
+                inline = misses
+            for spec in inline:
+                done[spec] = self._record(spec, spec.execute())
 
         n_cached = len(unique) - len(misses)
         self.n_cached += n_cached

@@ -1,12 +1,14 @@
 """Spec layer: frozen run descriptions and declarative sweeps.
 
 A :class:`RunSpec` captures *everything* that determines a simulation's
-result — workload, machine-config overrides, instruction budgets, RNG seed
-and the ``REPRO_SCALE`` factor in force when the spec was built. Two specs
-are equal iff the simulations they describe are identical, so a spec's
-stable hash (:meth:`RunSpec.key`) can address a result cache: a cached
-result can never be served across different scale factors, seeds or
-configurations, because each of those is part of the key.
+result — workload, machine-config overrides, instruction budgets, RNG seed,
+the executing backend (``"cycle"`` or ``"analytic"``; see
+:mod:`repro.engine.backends`) and the ``REPRO_SCALE`` factor in force when
+the spec was built. Two specs are equal iff the simulations they describe
+are identical, so a spec's stable hash (:meth:`RunSpec.key`) can address a
+result cache: a cached result can never be served across different scale
+factors, seeds, configurations or backends, because each of those is part
+of the key.
 
 Budget constants live here (the experiment runners re-export them): the
 measured/warm-up commit counts behind every figure in the paper.
@@ -18,7 +20,7 @@ import hashlib
 import itertools
 import json
 import os
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace as dataclasses_replace
 from typing import Any, Iterable, Iterator
 
 from repro.stats.counters import SimStats
@@ -58,6 +60,7 @@ class RunSpec:
     scheduler)."""
 
     kind: str                     # "multi" | "single"
+    backend: str = "cycle"        # simulation engine (see engine/backends.py)
     bench: str = ""               # single-benchmark name ("" for multi)
     n_threads: int = 1
     l2_latency: int = 16
@@ -83,11 +86,13 @@ class RunSpec:
         warmup_per_thread: int | None = None,
         seg_instrs: int = SEG_INSTRS,
         scale: float | None = None,
+        backend: str = "cycle",
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-3 run: rotated SPEC FP95 mix on all contexts."""
         return cls(
             kind="multi",
+            backend=backend,
             n_threads=n_threads,
             l2_latency=l2_latency,
             decoupled=decoupled,
@@ -110,11 +115,13 @@ class RunSpec:
         commits: int | None = None,
         warmup: int | None = None,
         scale: float | None = None,
+        backend: str = "cycle",
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-2 run: a single benchmark on one context."""
         return cls(
             kind="single",
+            backend=backend,
             bench=bench,
             n_threads=1,
             l2_latency=l2_latency,
@@ -132,6 +139,8 @@ class RunSpec:
             raise ValueError(f"unknown run kind {self.kind!r}")
         if self.kind == "single" and not self.bench:
             raise ValueError("single-benchmark specs need a bench name")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty string")
 
     # -- identity ----------------------------------------------------------------
 
@@ -139,6 +148,7 @@ class RunSpec:
         """JSON-safe representation; round-trips through :meth:`from_dict`."""
         return {
             "kind": self.kind,
+            "backend": self.backend,
             "bench": self.bench,
             "n_threads": self.n_threads,
             "l2_latency": self.l2_latency,
@@ -173,11 +183,60 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable description for logs and JSON output."""
         mode = "dec" if self.decoupled else "non-dec"
+        tail = "" if self.backend == "cycle" else f" [{self.backend}]"
         if self.kind == "single":
-            return f"{self.bench} L2={self.l2_latency} {mode}"
-        return f"{self.n_threads}T L2={self.l2_latency} {mode}"
+            return f"{self.bench} L2={self.l2_latency} {mode}{tail}"
+        return f"{self.n_threads}T L2={self.l2_latency} {mode}{tail}"
 
     # -- execution ---------------------------------------------------------------
+
+    def machine_config(self):
+        """The :class:`~repro.core.config.MachineConfig` this spec runs on
+        (shared by every backend, so config semantics can never drift)."""
+        from repro.core.config import paper_config
+
+        overrides = dict(self.config_overrides)
+        if self.kind == "multi":
+            return paper_config(
+                n_threads=self.n_threads,
+                decoupled=self.decoupled,
+                l2_latency=self.l2_latency,
+                **overrides,
+            )
+        return paper_config(
+            n_threads=1,
+            decoupled=self.decoupled,
+            l2_latency=self.l2_latency,
+            scale_with_latency=self.scale_with_latency,
+            **overrides,
+        )
+
+    def budgets(self) -> tuple[int, int]:
+        """``(measured_commits, warmup_commits)`` — totals over threads."""
+        if self.kind == "multi":
+            return (
+                _scaled(self.commits or COMMITS_PER_THREAD, self.scale)
+                * self.n_threads,
+                _scaled(self.warmup or WARMUP_PER_THREAD, self.scale)
+                * self.n_threads,
+            )
+        return (
+            _scaled(self.commits or SINGLE_COMMITS, self.scale),
+            _scaled(self.warmup or SINGLE_WARMUP, self.scale),
+        )
+
+    def playlists(self) -> list:
+        """One trace playlist per hardware context (cached trace objects)."""
+        from repro.workloads.multiprogram import multiprogram, single_program
+
+        if self.kind == "multi":
+            return multiprogram(
+                self.n_threads, seg_instrs=self.seg_instrs, seed=self.seed
+            )
+        commits, _warmup = self.budgets()
+        return single_program(
+            self.bench, n_instrs=max(commits, 20_000), seed=self.seed
+        )
 
     def instantiate(self) -> tuple:
         """Build the configured machine and its run budgets.
@@ -189,55 +248,29 @@ class RunSpec:
         """
         # imported here so the spec layer stays importable without pulling
         # the whole pipeline in (and to keep worker start-up lazy)
-        from repro.core.config import paper_config
         from repro.core.processor import Processor
-        from repro.workloads.multiprogram import multiprogram, single_program
 
-        overrides = dict(self.config_overrides)
-        if self.kind == "multi":
-            cfg = paper_config(
-                n_threads=self.n_threads,
-                decoupled=self.decoupled,
-                l2_latency=self.l2_latency,
-                **overrides,
-            )
-            playlists = multiprogram(
-                self.n_threads, seg_instrs=self.seg_instrs, seed=self.seed
-            )
-            commits = (
-                _scaled(self.commits or COMMITS_PER_THREAD, self.scale)
-                * self.n_threads
-            )
-            warmup = (
-                _scaled(self.warmup or WARMUP_PER_THREAD, self.scale)
-                * self.n_threads
-            )
-            proc = Processor(cfg, playlists, seed=self.seed)
-            return proc, dict(
-                max_commits=commits, warmup_commits=warmup, max_cycles=4_000_000
-            )
-
-        cfg = paper_config(
-            n_threads=1,
-            decoupled=self.decoupled,
-            l2_latency=self.l2_latency,
-            scale_with_latency=self.scale_with_latency,
-            **overrides,
-        )
-        commits = _scaled(self.commits or SINGLE_COMMITS, self.scale)
-        warmup = _scaled(self.warmup or SINGLE_WARMUP, self.scale)
-        playlists = single_program(
-            self.bench, n_instrs=max(commits, 20_000), seed=self.seed
-        )
-        proc = Processor(cfg, playlists, seed=self.seed)
+        cfg = self.machine_config()
+        commits, warmup = self.budgets()
+        proc = Processor(cfg, self.playlists(), seed=self.seed)
+        max_cycles = 4_000_000 if self.kind == "multi" else 8_000_000
         return proc, dict(
-            max_commits=commits, warmup_commits=warmup, max_cycles=8_000_000
+            max_commits=commits, warmup_commits=warmup, max_cycles=max_cycles
         )
+
+    def with_backend(self, backend: str) -> "RunSpec":
+        """This spec re-targeted at another backend (new cache identity)."""
+        if backend == self.backend:
+            return self
+        return dataclasses_replace(self, backend=backend)
 
     def execute(self) -> SimStats:
-        """Build the machine + workload and run the measured region."""
-        proc, run_kwargs = self.instantiate()
-        return proc.run(**run_kwargs)
+        """Run this spec on its backend (``"cycle"`` runs the staged
+        kernel via :meth:`instantiate`; others dispatch through the
+        backend registry)."""
+        from repro.engine.backends import get_backend
+
+        return get_backend(self.backend).run(self)
 
 
 def _as_axis(value) -> tuple:

@@ -1,0 +1,232 @@
+"""Differential conformance: the analytic backend vs the cycle backend.
+
+Runs both backends over the paper's Figure-4 grid — {1..4 threads} x
+{decoupled, non-decoupled} x L2 latencies — and reports per-cell and
+aggregate error on the three headline metrics:
+
+* **IPC** — relative error; the gating aggregate is the *mean absolute
+  relative error*, which must stay within :data:`TOLERANCE_IPC`.
+* **Perceived load-miss latency** — relative error with a
+  :data:`PERCEIVED_FLOOR`-cycle floor in the denominator (relative error
+  against a near-zero latency is noise, not signal).
+* **Bus utilization** — absolute error (the metric is already a
+  fraction).
+
+The driver also measures wall-clock: the cycle grid through the engine
+(cache-aware — per-run cost is only reported when something actually
+simulated) and a :data:`TIMING_SPECS`-point analytic sweep executed
+directly, from which the headline ``sweep speedup`` is derived. The CLI
+(``repro-sim conformance``) exits non-zero when the IPC tolerance is
+exceeded, which is what the CI conformance smoke step gates on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import RunSpec, Sweep, submit
+
+#: gating tolerance: mean absolute relative IPC error over the grid
+TOLERANCE_IPC = 0.15
+#: perceived-latency denominators are floored here (cycles)
+PERCEIVED_FLOOR = 5.0
+#: size of the analytic timing sweep (the "1000-spec sweep" headline)
+TIMING_SPECS = 1000
+
+#: the Figure-4 grid (full) and the CI smoke subset (quick)
+FULL_THREADS = (1, 2, 3, 4)
+FULL_LATENCIES = (1, 16, 32, 64, 128, 256)
+QUICK_THREADS = (1, 4)
+QUICK_LATENCIES = (16, 64, 256)
+
+
+def conformance_grid(quick: bool = False, seed: int = 0) -> Sweep:
+    """The cycle-backend specs of the conformance grid."""
+    return Sweep.grid(
+        RunSpec.multiprogrammed,
+        decoupled=(True, False),
+        n_threads=QUICK_THREADS if quick else FULL_THREADS,
+        l2_latency=QUICK_LATENCIES if quick else FULL_LATENCIES,
+        seed=seed,
+    )
+
+
+def _timing_sweep(n: int, seed: int) -> list[RunSpec]:
+    """``n`` distinct analytic specs spanning the model's input space.
+
+    Latency varies fastest so the whole sweep shares a handful of
+    characterization walks — the regime the fast model is built for.
+    """
+    specs: list[RunSpec] = []
+    lat = 1
+    while len(specs) < n:
+        for decoupled in (True, False):
+            for nt in FULL_THREADS:
+                if len(specs) >= n:
+                    break
+                specs.append(
+                    RunSpec.multiprogrammed(
+                        nt, l2_latency=lat, decoupled=decoupled,
+                        seed=seed, backend="analytic",
+                    )
+                )
+        lat += 1
+    return specs
+
+
+def run_conformance(
+    quick: bool = False,
+    seed: int = 0,
+    engine=None,
+    tolerance: float = TOLERANCE_IPC,
+    timing_specs: int = TIMING_SPECS,
+    progress=None,
+) -> dict:
+    """Run the differential suite; returns a JSON-safe document."""
+    say = progress or (lambda msg: None)
+    grid = conformance_grid(quick=quick, seed=seed)
+
+    say(f"cycle backend: {len(grid)} runs")
+    t0 = time.perf_counter()
+    cycle_results = submit(grid, engine)
+    cycle_wall = time.perf_counter() - t0
+
+    say("analytic backend: same grid")
+    t0 = time.perf_counter()
+    analytic = {
+        spec: spec.with_backend("analytic").execute() for spec in grid
+    }
+    analytic_grid_wall = time.perf_counter() - t0
+
+    cells = []
+    ipc_errs, perc_errs, bus_errs = [], [], []
+    for spec in grid:
+        c = cycle_results[spec]
+        a = analytic[spec]
+        if c.ipc:
+            ipc_err = abs(a.ipc - c.ipc) / c.ipc
+        else:
+            # a dead reference cell is maximal disagreement, never a
+            # free pass (unless the model also predicts zero)
+            ipc_err = 0.0 if a.ipc == 0 else 1.0
+        perc_err = abs(
+            a.perceived_load_latency - c.perceived_load_latency
+        ) / max(c.perceived_load_latency, PERCEIVED_FLOOR)
+        bus_err = abs(a.bus_utilization - c.bus_utilization)
+        ipc_errs.append(ipc_err)
+        perc_errs.append(perc_err)
+        bus_errs.append(bus_err)
+        cells.append(
+            {
+                "label": spec.label(),
+                "cycle": {
+                    "ipc": c.ipc,
+                    "perceived": c.perceived_load_latency,
+                    "bus": c.bus_utilization,
+                    "load_miss_ratio": c.load_miss_ratio,
+                },
+                "analytic": {
+                    "ipc": a.ipc,
+                    "perceived": a.perceived_load_latency,
+                    "bus": a.bus_utilization,
+                    "load_miss_ratio": a.load_miss_ratio,
+                },
+                "ipc_err": ipc_err,
+                "perceived_err": perc_err,
+                "bus_abs_err": bus_err,
+            }
+        )
+
+    n = len(cells)
+    mean_ipc_err = sum(ipc_errs) / n
+    doc: dict = {
+        "schema": "repro-conformance/1",
+        "quick": quick,
+        "seed": seed,
+        "n_cells": n,
+        "tolerance_ipc": tolerance,
+        "mean_abs_ipc_err": mean_ipc_err,
+        "max_abs_ipc_err": max(ipc_errs),
+        "mean_perceived_err": sum(perc_errs) / n,
+        "mean_bus_abs_err": sum(bus_errs) / n,
+        "passed": mean_ipc_err <= tolerance,
+        "cells": cells,
+    }
+
+    # -- wall-clock comparison ---------------------------------------------
+    n_executed = cycle_results.n_executed
+    timing: dict = {
+        "cycle_grid_wall_s": round(cycle_wall, 3),
+        "cycle_runs_executed": n_executed,
+        "cycle_runs_cached": cycle_results.n_cached,
+        "analytic_grid_wall_s": round(analytic_grid_wall, 3),
+    }
+    if timing_specs:
+        say(f"analytic timing sweep: {timing_specs} specs")
+        sweep = _timing_sweep(timing_specs, seed)
+        t0 = time.perf_counter()
+        for spec in sweep:
+            spec.execute()
+        # floor guards against clock granularity on fast machines
+        analytic_wall = max(time.perf_counter() - t0, 1e-9)
+        timing["analytic_sweep_specs"] = len(sweep)
+        timing["analytic_sweep_wall_s"] = round(analytic_wall, 3)
+        timing["analytic_specs_per_s"] = round(len(sweep) / analytic_wall, 1)
+        if n_executed:
+            per_cycle_run = cycle_wall / n_executed
+            projected = per_cycle_run * len(sweep)
+            timing["cycle_per_run_s"] = round(per_cycle_run, 3)
+            timing["sweep_speedup"] = round(projected / analytic_wall, 1)
+    doc["timing"] = timing
+    return doc
+
+
+def render_conformance(doc: dict) -> str:
+    """Text report for one conformance document."""
+    from repro.stats.report import format_table
+
+    rows = [
+        [
+            cell["label"],
+            cell["cycle"]["ipc"],
+            cell["analytic"]["ipc"],
+            cell["ipc_err"] * 100,
+            cell["cycle"]["perceived"],
+            cell["analytic"]["perceived"],
+            cell["cycle"]["bus"],
+            cell["analytic"]["bus"],
+        ]
+        for cell in doc["cells"]
+    ]
+    out = [
+        format_table(
+            ["config", "IPC cyc", "IPC ana", "err%",
+             "perc cyc", "perc ana", "bus cyc", "bus ana"],
+            rows,
+            "Conformance: analytic vs cycle backend (Figure-4 grid)",
+        )
+    ]
+    verdict = "PASS" if doc["passed"] else "FAIL"
+    out.append(
+        f"mean |IPC err| {doc['mean_abs_ipc_err'] * 100:.2f}% "
+        f"(tolerance {doc['tolerance_ipc'] * 100:.0f}%; "
+        f"max {doc['max_abs_ipc_err'] * 100:.1f}%)  "
+        f"perceived {doc['mean_perceived_err'] * 100:.1f}%  "
+        f"bus +-{doc['mean_bus_abs_err']:.3f}  -> {verdict}"
+    )
+    t = doc.get("timing", {})
+    if "analytic_specs_per_s" in t:
+        line = (
+            f"analytic: {t['analytic_sweep_specs']} specs in "
+            f"{t['analytic_sweep_wall_s']}s "
+            f"({t['analytic_specs_per_s']} specs/s)"
+        )
+        if "sweep_speedup" in t:
+            line += (
+                f"; cycle backend {t['cycle_per_run_s']}s/run -> "
+                f"sweep speedup {t['sweep_speedup']}x"
+            )
+        else:
+            line += "; cycle grid fully cached (no live timing baseline)"
+        out.append(line)
+    return "\n\n".join(out)

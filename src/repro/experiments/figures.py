@@ -39,11 +39,14 @@ LATENCIES = (1, 16, 32, 64, 128, 256)
 
 # --------------------------------------------------------------------- figure 1
 
-def fig1(latencies=LATENCIES, benches=None, seed: int = 0, engine=None) -> dict:
+def fig1(latencies=LATENCIES, benches=None, seed: int = 0, engine=None,
+         backend: str = "cycle") -> dict:
     """Section-2 sweep: per-benchmark latency-hiding effectiveness."""
     benches = list(benches or BENCH_ORDER)
     specs = {
-        (bench, lat): RunSpec.single(bench, l2_latency=lat, seed=seed)
+        (bench, lat): RunSpec.single(
+            bench, l2_latency=lat, seed=seed, backend=backend
+        )
         for bench in benches
         for lat in latencies
     }
@@ -118,10 +121,13 @@ def render_fig1(data: dict) -> str:
 
 # --------------------------------------------------------------------- figure 3
 
-def fig3(thread_counts=(1, 2, 3, 4, 5, 6), seed: int = 0, engine=None) -> dict:
+def fig3(thread_counts=(1, 2, 3, 4, 5, 6), seed: int = 0, engine=None,
+         backend: str = "cycle") -> dict:
     """Issue-slot breakdown vs thread count (decoupled, L2 = 16)."""
     specs = {
-        nt: RunSpec.multiprogrammed(nt, l2_latency=16, decoupled=True, seed=seed)
+        nt: RunSpec.multiprogrammed(
+            nt, l2_latency=16, decoupled=True, seed=seed, backend=backend
+        )
         for nt in thread_counts
     }
     results = submit(Sweep(specs.values()), engine)
@@ -163,7 +169,8 @@ def render_fig3(data: dict) -> str:
 # --------------------------------------------------------------------- figure 4
 
 def fig4(
-    latencies=LATENCIES, thread_counts=(1, 2, 3, 4), seed: int = 0, engine=None
+    latencies=LATENCIES, thread_counts=(1, 2, 3, 4), seed: int = 0,
+    engine=None, backend: str = "cycle"
 ) -> dict:
     """Latency tolerance of the 8 configurations (sections 3.2)."""
     sweep = Sweep.grid(
@@ -172,6 +179,7 @@ def fig4(
         n_threads=thread_counts,
         l2_latency=latencies,
         seed=seed,
+        backend=backend,
     )
     results = submit(sweep, engine)
     out: dict = {
@@ -234,6 +242,7 @@ def fig5(
     threads_64=tuple(range(1, 17)),
     seed: int = 0,
     engine=None,
+    backend: str = "cycle",
 ) -> dict:
     """Thread-count sweeps at L2 = 16 and L2 = 64 (section 3.3)."""
     series = {}
@@ -243,7 +252,8 @@ def fig5(
             label = f"L2={lat} {'dec' if decoupled else 'non-dec'}"
             series[label] = {
                 nt: RunSpec.multiprogrammed(
-                    nt, l2_latency=lat, decoupled=decoupled, seed=seed
+                    nt, l2_latency=lat, decoupled=decoupled, seed=seed,
+                    backend=backend,
                 )
                 for nt in counts
             }

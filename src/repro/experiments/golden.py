@@ -1,0 +1,185 @@
+"""Golden-stats regression corpus.
+
+A committed corpus of exact cycle-backend results for a small, pinned
+sub-grid of the fig1/fig3/fig4 experiments, keyed by
+:data:`~repro.engine.spec.SPEC_VERSION`. The tier-1 test
+(``tests/test_golden.py``) re-runs every cell live and diffs it against
+the corpus, so *any* unintentional change to simulation semantics —
+pipeline, memory system, workload synthesis, stats accounting — fails
+loudly with the first metric that moved.
+
+Intentional semantics changes bump ``SPEC_VERSION`` (as PR 2 did for the
+wrong-path change) and refresh the corpus::
+
+    repro-sim golden --refresh
+
+which rewrites ``tests/golden/*.json``. A stale corpus (its recorded
+``spec_version`` differs from the code's) is reported as such rather
+than producing 22 confusing per-metric diffs.
+
+Cells pin ``scale=1.0`` and explicit tiny budgets, so the corpus is
+independent of the ambient ``REPRO_SCALE`` and cheap enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.engine import RunSpec, Sweep, submit
+from repro.engine.spec import SPEC_VERSION
+
+SCHEMA = "repro-golden/1"
+
+#: corpus location, relative to the repository root
+DEFAULT_DIR = "tests/golden"
+
+
+def default_root() -> Path:
+    """The committed corpus location, anchored to the repository root
+    (this file lives at ``src/repro/experiments/``), so the CLI works
+    from any working directory; falls back to a cwd-relative path for
+    installed-package layouts."""
+    repo_root = Path(__file__).resolve().parents[3]
+    anchored = repo_root / DEFAULT_DIR
+    if anchored.parent.is_dir():
+        return anchored
+    return Path(DEFAULT_DIR)
+
+#: fig1 sub-grid: the section-2 classification extremes
+GOLDEN_BENCHES = ("tomcatv", "swim", "su2cor", "fpppp", "turb3d")
+GOLDEN_FIG1_LATENCIES = (16, 256)
+
+#: metrics recorded per cell (floats compared within 1e-9 relative)
+METRICS = (
+    "cycles", "committed", "ipc", "load_miss_ratio", "store_miss_ratio",
+    "perceived_fp_latency", "perceived_int_latency", "bus_utilization",
+    "mispredict_rate", "average_slip",
+)
+
+
+def golden_cells() -> dict[str, dict[str, RunSpec]]:
+    """``{figure: {cell_label: spec}}`` — the pinned corpus grid."""
+    fig1 = {}
+    for bench in GOLDEN_BENCHES:
+        for lat in GOLDEN_FIG1_LATENCIES:
+            spec = RunSpec.single(
+                bench, l2_latency=lat, scale=1.0, commits=2500, warmup=500
+            )
+            fig1[spec.label()] = spec
+    fig3 = {}
+    for nt in (1, 2, 3, 4):
+        spec = RunSpec.multiprogrammed(
+            nt, l2_latency=16, scale=1.0,
+            commits_per_thread=1500, warmup_per_thread=300,
+        )
+        fig3[spec.label()] = spec
+    fig4 = {}
+    for decoupled in (True, False):
+        for nt in (1, 2):
+            for lat in (16, 128):
+                spec = RunSpec.multiprogrammed(
+                    nt, l2_latency=lat, decoupled=decoupled, scale=1.0,
+                    commits_per_thread=1500, warmup_per_thread=300,
+                )
+                fig4[spec.label()] = spec
+    return {"fig1": fig1, "fig3": fig3, "fig4": fig4}
+
+
+def _measure(specs: dict[str, RunSpec], engine=None) -> dict[str, dict]:
+    results = submit(Sweep(specs.values()), engine)
+    out = {}
+    for label, spec in specs.items():
+        stats = results[spec]
+        out[label] = {m: getattr(stats, m) for m in METRICS}
+    return out
+
+
+def build_document(figure: str, engine=None) -> dict:
+    """One figure's golden document, from live runs."""
+    return {
+        "schema": SCHEMA,
+        "spec_version": SPEC_VERSION,
+        "figure": figure,
+        "cells": _measure(golden_cells()[figure], engine),
+    }
+
+
+def path_for(figure: str, root: str | Path = DEFAULT_DIR) -> Path:
+    return Path(root) / f"{figure}.json"
+
+
+def refresh(root: str | Path = DEFAULT_DIR, engine=None) -> list[Path]:
+    """(Re)write the whole corpus; returns the written paths."""
+    written = []
+    for figure in golden_cells():
+        path = path_for(figure, root)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(build_document(figure, engine), fh, indent=1,
+                      sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def compare(figure: str, stored: dict, engine=None,
+            rel_tol: float = 1e-9) -> list[str]:
+    """Diff one figure's live runs against a stored document.
+
+    Returns human-readable mismatch strings (empty = conformant). A
+    ``spec_version`` skew is reported as the single actionable mismatch.
+    """
+    if stored.get("spec_version") != SPEC_VERSION:
+        return [
+            f"{figure}: corpus is for SPEC_VERSION "
+            f"{stored.get('spec_version')!r}, code is {SPEC_VERSION} — "
+            "if the semantics change is intentional, run "
+            "'repro-sim golden --refresh'"
+        ]
+    live = _measure(golden_cells()[figure], engine)
+    problems = []
+    stored_cells = stored.get("cells", {})
+    for label in sorted(set(live) | set(stored_cells)):
+        if label not in stored_cells:
+            problems.append(f"{figure}/{label}: missing from corpus")
+            continue
+        if label not in live:
+            problems.append(f"{figure}/{label}: no longer produced")
+            continue
+        for metric in METRICS:
+            want = stored_cells[label].get(metric)
+            got = live[label][metric]
+            if want is None:
+                problems.append(f"{figure}/{label}: {metric} not recorded")
+            elif isinstance(want, float) or isinstance(got, float):
+                scale = max(abs(want), abs(got), 1e-12)
+                if abs(got - want) / scale > rel_tol:
+                    problems.append(
+                        f"{figure}/{label}: {metric} {want!r} -> {got!r}"
+                    )
+            elif got != want:
+                problems.append(
+                    f"{figure}/{label}: {metric} {want!r} -> {got!r}"
+                )
+    return problems
+
+
+def verify(root: str | Path = DEFAULT_DIR, engine=None) -> list[str]:
+    """Diff the whole corpus; returns all mismatches."""
+    problems = []
+    for figure in golden_cells():
+        path = path_for(figure, root)
+        if not path.is_file():
+            problems.append(
+                f"{figure}: {path} missing — run 'repro-sim golden --refresh'"
+            )
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                stored = json.load(fh)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{figure}: unreadable corpus file ({exc})")
+            continue
+        problems.extend(compare(figure, stored, engine))
+    return problems

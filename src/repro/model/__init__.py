@@ -1,0 +1,28 @@
+"""Analytic fast-model backend.
+
+A mean-value/queueing model of the multithreaded decoupled access/execute
+machine, registered in the backend registry as ``"analytic"``. Two layers:
+
+* :mod:`repro.model.charwalk` — a *functional characterization walk*: the
+  exact per-thread instruction windows the cycle backend measures are
+  walked once, timing-free (instruction mix, branch-predictor outcomes, an
+  interleaved L1 tag walk for miss rates and line-reuse distances). The
+  result depends only on the workload and the cache/predictor geometry —
+  never on latencies, queue sizes or the decoupling mode — so one walk is
+  shared by every point of a latency x mode sweep via an in-process cache.
+* :mod:`repro.model.analytic` — the mean-value solver: a damped fixed
+  point over aggregate IPC coupling the AP/EP slip ceiling (queue, register
+  and unresolved-branch windows, collapsed by FTOI loss-of-decoupling
+  events), bus queueing (M/D/1) and MSHR-limited miss throughput, and SMT
+  issue-slot sharing. It emits a fully populated
+  :class:`~repro.stats.counters.SimStats`, so every figure renderer works
+  unchanged on either backend.
+
+Validation: ``repro-sim conformance`` runs both backends over the paper's
+Figure-4 grid and reports per-metric error (see DESIGN.md for tolerances).
+"""
+
+from repro.model.analytic import AnalyticBackend
+from repro.model.charwalk import WorkloadCharacter, characterize
+
+__all__ = ["AnalyticBackend", "WorkloadCharacter", "characterize"]

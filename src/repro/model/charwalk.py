@@ -1,0 +1,338 @@
+"""Functional characterization walk for the analytic backend.
+
+The mean-value model needs workload facts the cycle simulator discovers
+dynamically: the instruction mix of the *measured window*, branch-predictor
+accuracy, L1 miss rates under the real multi-thread set-conflict geometry,
+line-reuse distances (for estimating merged secondary misses) and dirty-
+victim rates (write-back bus traffic). All of these are properties of the
+workload and the cache/predictor *geometry* alone — they do not depend on
+latencies, queue depths or the decoupling mode — so they can be computed by
+a single timing-free pass and reused across every point of a sweep.
+
+The walk mirrors the cycle backend's measurement protocol exactly: thread
+``t`` executes its playlist from the start, the first ``warmup`` committed
+instructions warm the cache and predictor without being counted, and the
+next ``measured`` instructions are tallied. Threads advance in lockstep
+round-robin (the cycle machine's ICOUNT fetch keeps per-thread progress
+balanced), which reproduces the cross-thread L1 set conflicts behind the
+paper's "miss ratios increase progressively [with threads]" observation.
+
+Reuse histograms: every L1 hit records the line's age — per-thread
+instructions since the line was installed — in power-of-two buckets. At
+solve time, hits younger than the in-flight window (miss latency divided by
+per-thread CPI) are re-classified as merged secondary misses, which is how
+the model's miss *ratios* grow with latency the way the cycle backend's do.
+
+Results are cached per :func:`character_key` (an ``lru_cache``), so a
+1000-spec sweep over latencies and modes pays for a handful of walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.config import MachineConfig
+from repro.core.context import region_salts
+from repro.core.predictor import BimodalBHT
+from repro.isa.opclass import OpClass
+from repro.memory.cache import HIT, L1Cache
+from repro.workloads.profiles import get_profile
+
+#: number of power-of-two reuse-age buckets (ages up to 2**23 instructions)
+N_AGE_BUCKETS = 24
+
+#: two load fills of one thread within this many instructions of each
+#: other belong to one latency-overlap cluster (the synthesizer emits a
+#: benchmark's loads as one consecutive block per iteration)
+CLUSTER_GAP = 8
+
+_OP_LOAD_F = OpClass.LOAD_F
+_OP_LOAD_I = OpClass.LOAD_I
+_OP_STORE_F = OpClass.STORE_F
+_OP_STORE_I = OpClass.STORE_I
+_OP_BRANCH = OpClass.BRANCH
+_OP_FALU = OpClass.FALU
+_OP_IALU = OpClass.IALU
+_OP_ITOF = OpClass.ITOF
+_OP_FTOI = OpClass.FTOI
+
+# reuse-histogram class indices
+CLS_LOAD_FP = 0
+CLS_LOAD_INT = 1
+CLS_STORE = 2
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Timing-free facts about one measured workload window."""
+
+    n_threads: int
+    instrs: int                 # measured instructions, total over threads
+
+    # instruction mix (measured region, totals)
+    ialu: int
+    falu: int
+    loads_fp: int
+    loads_int: int
+    stores: int
+    branches: int
+    mispredicts: int
+    itof: int
+    ftoi: int
+
+    # L1 behaviour (measured region, totals)
+    fills_fp: int               # primary line fetches by FP loads
+    fills_int: int
+    fills_st: int
+    writebacks: int             # dirty victims evicted by measured fills
+    #: load-fill *clusters*: consecutive load fills of one thread within
+    #: CLUSTER_GAP instructions overlap their latencies (the loads issue
+    #: back-to-back before the first consumer can block), so only one
+    #: stall per cluster is exposed. ``clusters / load fills`` is the
+    #: exposed-stall fraction.
+    load_fill_clusters: int
+    #: per class, hits bucketed by line age in per-thread instructions
+    #: (bucket ``b`` holds ages in ``[2**(b-1), 2**b)``; bucket 0 is age 0)
+    reuse: tuple[tuple[int, ...], ...]
+
+    # profile-derived structure, blended over the measured window
+    #: independent EP dependence chains (ILP available to in-order issue)
+    ep_chains: float
+    #: instructions per inner-loop iteration (scheduling-distance unit)
+    iter_len: float
+    #: software-pipelined distance (instructions) from an integer index
+    #: load to its consuming gather load
+    int_use_dist: float
+    #: fraction of instructions that are FTOI loss-of-decoupling events
+    lod_per_instr: float
+
+    @property
+    def f(self) -> dict:
+        """Per-instruction frequencies of the measured mix."""
+        n = max(1, self.instrs)
+        return {
+            "ialu": self.ialu / n,
+            "falu": self.falu / n,
+            "load_fp": self.loads_fp / n,
+            "load_int": self.loads_int / n,
+            "store": self.stores / n,
+            "branch": self.branches / n,
+            "itof": self.itof / n,
+            "ftoi": self.ftoi / n,
+        }
+
+
+def character_key(spec, cfg: MachineConfig) -> tuple:
+    """Everything the walk result depends on, as a hashable key.
+
+    Deliberately excludes latencies, queue depths, widths and the
+    decoupling mode: the walk is timing-free, so all points of a latency
+    x mode sweep share one characterization.
+    """
+    commits, warmup = spec.budgets()
+    n_threads = cfg.n_threads
+    return (
+        spec.kind,
+        spec.bench,
+        n_threads,
+        spec.seed,
+        spec.seg_instrs,
+        commits // n_threads,
+        warmup // n_threads,
+        cfg.l1_bytes,
+        cfg.line_bytes,
+        cfg.bht_entries,
+        cfg.salt_stream_bytes,
+        cfg.salt_store_bytes,
+        cfg.salt_hot_bytes,
+    )
+
+
+def characterize(spec, cfg: MachineConfig) -> WorkloadCharacter:
+    """The (cached) characterization of one spec's measured window."""
+    return _characterize(character_key(spec, cfg))
+
+
+@lru_cache(maxsize=128)
+def _characterize(key: tuple) -> WorkloadCharacter:
+    (
+        kind, bench, n_threads, seed, seg_instrs, meas_pt, warm_pt,
+        l1_bytes, line_bytes, bht_entries,
+        salt_stream, salt_store, salt_hot,
+    ) = key
+
+    from repro.workloads.multiprogram import multiprogram, single_program
+
+    if kind == "multi":
+        playlists = multiprogram(n_threads, seg_instrs=seg_instrs, seed=seed)
+    else:
+        playlists = single_program(
+            bench, n_instrs=max(meas_pt, 20_000), seed=seed
+        )
+
+    l1 = L1Cache(l1_bytes, line_bytes)
+    n_sets = l1.n_sets
+    # per-set install bookkeeping for reuse ages
+    install_tick = [0] * n_sets
+
+    # per-thread walk state (salting shared with the cycle backend's
+    # ThreadContext via core.context.region_salts)
+    cfg = MachineConfig(
+        n_threads=n_threads,
+        salt_stream_bytes=salt_stream,
+        salt_store_bytes=salt_store,
+        salt_hot_bytes=salt_hot,
+    )
+    bhts = [BimodalBHT(bht_entries) for _ in range(n_threads)]
+    salted = [region_salts(cfg, t) for t in range(n_threads)]
+    salts = [default for default, _by_region in salted]
+    salt_region = [by_region for _default, by_region in salted]
+    play_idx = [0] * n_threads
+    pos = [0] * n_threads
+    ticks = [0] * n_threads          # per-thread instruction counters
+
+    counts = dict(
+        ialu=0, falu=0, loads_fp=0, loads_int=0, stores=0,
+        branches=0, mispredicts=0, itof=0, ftoi=0,
+        fills_fp=0, fills_int=0, fills_st=0, writebacks=0,
+        load_fill_clusters=0,
+    )
+    last_load_fill = [-(10 * CLUSTER_GAP)] * n_threads
+    reuse = [[0] * N_AGE_BUCKETS for _ in range(3)]
+    bench_weight: dict[str, int] = {}
+
+    budget = warm_pt + meas_pt
+    probe = l1.probe
+    install = l1.install
+    touch_write = l1.touch_write
+
+    for step in range(budget):
+        measuring = step >= warm_pt
+        for t in range(n_threads):
+            pl = playlists[t]
+            trace = pl[play_idx[t]]
+            s = trace[pos[t]]
+            pos[t] += 1
+            if pos[t] >= len(trace):
+                play_idx[t] = (play_idx[t] + 1) % len(pl)
+                pos[t] = 0
+            ticks[t] += 1
+            op = s.op
+            if measuring:
+                bench_weight[trace.name] = bench_weight.get(trace.name, 0) + 1
+            if op == _OP_IALU:
+                if measuring:
+                    counts["ialu"] += 1
+                continue
+            if op == _OP_FALU:
+                if measuring:
+                    counts["falu"] += 1
+                continue
+            if op == _OP_BRANCH:
+                pred = bhts[t].predict_and_update(s.pc, s.taken)
+                if measuring:
+                    counts["branches"] += 1
+                    if pred != s.taken:
+                        counts["mispredicts"] += 1
+                continue
+            if op == _OP_ITOF:
+                if measuring:
+                    counts["itof"] += 1
+                continue
+            if op == _OP_FTOI:
+                if measuring:
+                    counts["ftoi"] += 1
+                continue
+            # memory operation: apply the per-thread region salt
+            addr = s.addr
+            addr += salt_region[t].get(addr >> 26, salts[t])
+            is_store = op == _OP_STORE_F or op == _OP_STORE_I
+            if is_store:
+                cls = CLS_STORE
+                if measuring:
+                    counts["stores"] += 1
+            elif op == _OP_LOAD_F:
+                cls = CLS_LOAD_FP
+                if measuring:
+                    counts["loads_fp"] += 1
+            else:
+                cls = CLS_LOAD_INT
+                if measuring:
+                    counts["loads_int"] += 1
+            outcome, idx, _when = probe(addr, 0)
+            if outcome == HIT:
+                if is_store:
+                    touch_write(addr)
+                if measuring:
+                    age = ticks[t] - install_tick[idx]
+                    reuse[cls][min(age.bit_length(), N_AGE_BUCKETS - 1)] += 1
+            else:
+                victim_dirty = install(addr, 0, 0, make_dirty=is_store)
+                install_tick[idx] = ticks[t]
+                if measuring:
+                    if victim_dirty:
+                        counts["writebacks"] += 1
+                    if cls == CLS_STORE:
+                        counts["fills_st"] += 1
+                    else:
+                        if cls == CLS_LOAD_FP:
+                            counts["fills_fp"] += 1
+                        else:
+                            counts["fills_int"] += 1
+                        if ticks[t] - last_load_fill[t] > CLUSTER_GAP:
+                            counts["load_fill_clusters"] += 1
+                        last_load_fill[t] = ticks[t]
+                elif cls != CLS_STORE:
+                    last_load_fill[t] = ticks[t]
+
+    return WorkloadCharacter(
+        n_threads=n_threads,
+        instrs=meas_pt * n_threads,
+        reuse=tuple(tuple(row) for row in reuse),
+        **counts,
+        **_blend_profiles(bench_weight),
+    )
+
+
+def _plan(name: str) -> dict:
+    """Static per-iteration structure of one benchmark profile (mirrors
+    the synthesizer's body planning — counts only, no emission)."""
+    p = get_profile(name)
+    n_loads = p.n_streams * p.unroll
+    ring_len = p.index_dist + 1
+    max_gather = max(0, 8 // ring_len)
+    wanted = int(round(p.gather_frac * n_loads))
+    if p.gather_frac > 0:
+        wanted = max(1, wanted)
+    n_gather = min(wanted, max_gather)
+    n_falu = max(1, int(round(n_loads * p.fp_per_load)))
+    n_stores = int(round(n_loads * p.store_per_load))
+    n_extra_ialu = int(round(p.extra_ialu_per_load * n_loads))
+    body = (
+        3 + n_gather / max(1, p.index_every) + n_loads + n_falu
+        + n_stores + n_extra_ialu + 1
+        + int(round(p.rand_branch_frac
+                    * (3 + n_gather + n_loads + n_falu + n_stores + 2)))
+    )
+    return {
+        "iter_len": body,
+        "ep_chains": float(p.n_chains),
+        "int_use_dist": p.index_dist * body,
+    }
+
+
+def _blend_profiles(bench_weight: dict[str, int]) -> dict:
+    """Measured-window-weighted blend of profile-derived structure."""
+    total = sum(bench_weight.values()) or 1
+    out = {"ep_chains": 0.0, "iter_len": 0.0, "int_use_dist": 0.0,
+           "lod_per_instr": 0.0}
+    for name, w in bench_weight.items():
+        plan = _plan(name)
+        p = get_profile(name)
+        frac = w / total
+        out["ep_chains"] += frac * plan["ep_chains"]
+        out["iter_len"] += frac * plan["iter_len"]
+        out["int_use_dist"] += frac * plan["int_use_dist"]
+        out["lod_per_instr"] += frac * p.lod_rate
+    return out

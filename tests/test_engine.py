@@ -52,6 +52,22 @@ class TestRunSpecIdentity:
         # and explicitly pinned scales behave the same way
         assert tiny_spec(scale=0.1).key() != tiny_spec(scale=0.2).key()
 
+    def test_backend_is_part_of_the_key(self):
+        # cache entries can never be served across backends
+        assert tiny_spec(backend="analytic").key() != tiny_spec().key()
+        assert "[analytic]" in tiny_spec(backend="analytic").label()
+        assert "[" not in tiny_spec().label()
+
+    def test_with_backend_retargets(self):
+        spec = tiny_spec()
+        ana = spec.with_backend("analytic")
+        assert ana.backend == "analytic" and ana.n_threads == spec.n_threads
+        assert spec.with_backend("cycle") is spec
+
+    def test_backend_validated(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="multi", backend="")
+
     def test_override_order_is_canonical(self):
         a = RunSpec.multiprogrammed(1, mshrs=8, fetch_policy="rr")
         b = RunSpec.multiprogrammed(1, fetch_policy="rr", mshrs=8)
@@ -140,6 +156,45 @@ class TestResultCache:
         cache.put(spec, spec.execute())
         cache.path_for(spec).write_text("not json")
         assert cache.get(spec) is None
+
+    @pytest.mark.parametrize("payload", [
+        "",                                    # empty file
+        '{"format": 1, "stats": {"cyc',        # truncated mid-write
+        "5",                                   # valid JSON, non-dict root
+        "[1, 2, 3]",                           # valid JSON, list root
+        '"just a string"',
+        '{"format": 999, "stats": {}}',        # future format
+        '{"format": 1}',                       # stats key missing
+        '{"format": 1, "stats": 5}',           # stats not a mapping
+        '{"format": 1, "stats": {"slot_counts": 7}}',  # malformed field
+    ])
+    def test_unreadable_entries_read_as_misses(self, tmp_path, payload):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(spec).write_text(payload)
+        assert cache.get(spec) is None
+
+    def test_corrupt_entry_is_overwritten_by_next_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        stats = spec.execute()
+        cache.path_for(spec).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(spec).write_text("[truncated")
+        assert cache.get(spec) is None
+        cache.put(spec, stats)
+        assert cache.get(spec) == stats
+
+    def test_engine_reexecutes_over_corrupt_entry(self, tmp_path):
+        # end to end: a corrupt on-disk entry must cost one re-simulation,
+        # never an exception, and the rerun repairs the entry
+        spec = tiny_spec()
+        Engine(workers=1, cache=ResultCache(tmp_path)).run(spec)
+        ResultCache(tmp_path).path_for(spec).write_text("{]")
+        engine = Engine(workers=1, cache=ResultCache(tmp_path))
+        engine.run(spec)
+        assert engine.n_executed == 1 and engine.n_cached == 0
+        assert ResultCache(tmp_path).get(spec) is not None
 
     def test_default_dir_honours_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))

@@ -1,0 +1,93 @@
+"""Golden-stats regression corpus (tests/golden/*.json).
+
+Every cell of the pinned fig1/fig3/fig4 sub-grid is re-run live on the
+cycle backend and diffed against the committed corpus. A failure here
+means simulation semantics changed: either fix the regression, or — for
+an intentional change — bump ``SPEC_VERSION`` and run
+``repro-sim golden --refresh`` (see DESIGN.md "Validation methodology").
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine import Engine
+from repro.engine.spec import SPEC_VERSION
+from repro.experiments import golden
+
+CORPUS = Path(__file__).parent / "golden"
+
+#: one serial engine for the whole module: its in-memory memo dedupes
+#: the repeated golden-grid runs across these tests
+ENGINE = Engine.serial()
+
+
+def test_corpus_files_exist():
+    for figure in golden.golden_cells():
+        assert golden.path_for(figure, CORPUS).is_file(), (
+            f"missing golden file for {figure}; run "
+            "'repro-sim golden --refresh'"
+        )
+
+
+@pytest.mark.parametrize("figure", sorted(golden.golden_cells()))
+def test_live_runs_match_corpus(figure):
+    path = golden.path_for(figure, CORPUS)
+    stored = json.loads(path.read_text())
+    assert stored["schema"] == golden.SCHEMA
+    assert stored["spec_version"] == SPEC_VERSION, (
+        f"{path} was recorded for SPEC_VERSION {stored['spec_version']}, "
+        f"code is at {SPEC_VERSION}; if intentional, refresh the corpus"
+    )
+    problems = golden.compare(figure, stored, ENGINE)
+    assert not problems, "\n".join(problems)
+
+
+def test_default_root_is_anchored_to_the_repo(tmp_path, monkeypatch):
+    # the CLI must find the committed corpus from any working directory
+    monkeypatch.chdir(tmp_path)
+    assert golden.default_root() == CORPUS.resolve()
+
+
+def test_cli_golden_bypasses_the_result_cache(tmp_path, monkeypatch, capsys):
+    # a warm cache must never satisfy a golden verification: the command
+    # exists to compare *live* semantics against the corpus
+    from repro.cli import main
+    from repro.engine import ResultCache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    specs = [s for cells in golden.golden_cells().values()
+             for s in cells.values()]
+    cache = ResultCache(tmp_path / "cache")
+    poisoned = specs[0].execute()
+    poisoned.committed += 12345  # a cache hit would visibly skew metrics
+    for spec in specs:
+        cache.put(spec, poisoned)
+    assert main(["golden"]) == 0
+    assert "conformant" in capsys.readouterr().out
+
+
+def test_verify_reports_spec_version_skew(tmp_path):
+    golden_dir = tmp_path / "golden"
+    golden.refresh(golden_dir, ENGINE)
+    doc = json.loads(golden.path_for("fig3", golden_dir).read_text())
+    doc["spec_version"] = SPEC_VERSION - 1
+    golden.path_for("fig3", golden_dir).write_text(json.dumps(doc))
+    problems = golden.verify(golden_dir, ENGINE)
+    assert any("SPEC_VERSION" in p and "fig3" in p for p in problems)
+
+
+def test_verify_reports_metric_drift(tmp_path):
+    golden_dir = tmp_path / "golden"
+    golden.refresh(golden_dir, ENGINE)
+    path = golden.path_for("fig4", golden_dir)
+    doc = json.loads(path.read_text())
+    label = sorted(doc["cells"])[0]
+    doc["cells"][label]["ipc"] *= 1.5
+    path.write_text(json.dumps(doc))
+    problems = golden.verify(golden_dir, ENGINE)
+    assert any("ipc" in p and label in p for p in problems)
+    # the other figures still verify clean
+    assert all("fig1" not in p and "fig3" not in p for p in problems)

@@ -1,7 +1,18 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests for core data structures and invariants.
 
+Two flavours: hypothesis-driven structure tests on the micro components,
+and a seeded-random *machine grid* — randomized ``MachineConfig`` points
+driving the full cycle backend on real synthetic workloads — asserting
+the cross-cutting invariants every configuration must satisfy:
+issue-slot conservation (``cycles * width == sum(breakdown)`` per unit),
+exact commit counts on finite programs, faithful stats serialisation,
+and fast-forward ≡ per-cycle-walk bit-identity.
+"""
+
+import random
 from collections import deque
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from conftest import ProgramBuilder
@@ -13,6 +24,8 @@ from repro.core.rename import RenameFile
 from repro.isa.instruction import DynInst, StaticInst
 from repro.isa.opclass import OpClass
 from repro.memory.cache import HIT, MISS, SECONDARY, CONFLICT, L1Cache
+from repro.stats.counters import SimStats
+from repro.workloads.multiprogram import multiprogram
 from repro.workloads.synth import fold, FOLD_WINDOW
 
 
@@ -185,3 +198,101 @@ def test_random_programs_commit_exactly_and_hold_invariants(ops, data):
     proc.check_invariants()
     # all stores eventually drained
     assert stats.stores == sum(1 for k in ops if k == "store")
+
+
+# --------------------------------------------------- randomized machine grid
+
+
+def sample_config(seed: int) -> MachineConfig:
+    """One random-but-sane machine configuration, deterministic in seed."""
+    rng = random.Random(0xC0FFEE ^ (seed * 0x9E3779B1))
+    return MachineConfig(
+        n_threads=rng.randint(1, 3),
+        decoupled=rng.random() < 0.5,
+        l2_latency=rng.choice((1, 8, 16, 48, 96)),
+        ap_width=rng.randint(2, 4),
+        ep_width=rng.randint(2, 4),
+        dispatch_width=rng.choice((4, 6, 8)),
+        fetch_width=rng.choice((4, 8)),
+        fetch_policy=rng.choice(("icount", "rr")),
+        iq_size=rng.choice((16, 32, 64)),
+        aq_size=rng.choice((16, 32, 64)),
+        saq_size=rng.choice((16, 32)),
+        rob_size=rng.choice((64, 128, 256)),
+        ap_regs=rng.choice((48, 64, 96)),
+        ep_regs=rng.choice((64, 96, 128)),
+        mshrs=rng.choice((4, 8, 16, 24)),
+        max_unresolved_branches=rng.randint(2, 6),
+    )
+
+
+GRID_SEEDS = range(6)
+
+
+def _grid_run(seed: int, fast_forward: bool = True):
+    cfg = sample_config(seed)
+    playlists = multiprogram(cfg.n_threads, seg_instrs=2500, seed=seed)
+    proc = Processor(cfg, playlists, seed=seed)
+    stats = proc.run(
+        max_commits=1200 * cfg.n_threads,
+        warmup_commits=300 * cfg.n_threads,
+        max_cycles=400_000,
+        fast_forward=fast_forward,
+    )
+    return cfg, proc, stats
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+def test_issue_slots_are_conserved(seed):
+    """Every cycle classifies every issue slot of both units exactly once,
+    whatever the configuration: cycles * width == sum(breakdown)."""
+    cfg, proc, stats = _grid_run(seed)
+    for unit, width in ((0, cfg.ap_width), (1, cfg.ep_width)):
+        row = stats.slot_counts[unit]
+        assert all(v >= 0 for v in row)
+        assert sum(row) == stats.cycles * width, (cfg, unit, row)
+    proc.check_invariants()
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+def test_stats_round_trip_on_random_configs(seed):
+    _cfg, _proc, stats = _grid_run(seed)
+    clone = SimStats.from_dict(stats.to_dict())
+    assert clone == stats
+    assert clone.to_dict() == stats.to_dict()
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+def test_fast_forward_is_bit_identical_on_random_configs(seed):
+    walked = _grid_run(seed, fast_forward=False)[2]
+    jumped = _grid_run(seed, fast_forward=True)[2]
+    assert jumped.to_dict() == walked.to_dict()
+
+
+@pytest.mark.parametrize("seed", GRID_SEEDS)
+def test_finite_programs_commit_exactly_once_per_context(seed):
+    """On every sampled config, a finite trace commits each instruction
+    exactly once per hardware context — no loss, no duplication."""
+    cfg = sample_config(seed)
+    b = ProgramBuilder()
+    rng = random.Random(seed)
+    for i in range(160):
+        kind = rng.choice(("ialu", "falu", "load", "store", "branch"))
+        if kind == "ialu":
+            b.ialu(dest=4 + (i % 6), srcs=(4 + ((i + 1) % 6),))
+        elif kind == "falu":
+            b.falu(dest=36 + (i % 6), srcs=(36 + ((i + 1) % 6),))
+        elif kind == "load":
+            b.load_f(dest=40 + (i % 8), base=2, addr=0x2000 + (i % 50) * 32)
+        elif kind == "store":
+            b.store_f(base=2, data=36 + (i % 6), addr=0x4000 + (i % 20) * 8)
+        else:
+            b.branch(taken=rng.random() < 0.5, src=4)
+    tr = b.trace()
+    proc = Processor(cfg, [[tr]] * cfg.n_threads, wrap=False)
+    stats = proc.run(max_cycles=120_000)
+    assert stats.committed == len(tr) * cfg.n_threads
+    assert sorted(stats.committed_per_thread.values()) == (
+        [len(tr)] * cfg.n_threads
+    )
+    proc.check_invariants()
