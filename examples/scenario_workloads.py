@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario workloads: the declarative workload API beyond the paper.
+
+Builds three non-paper scenarios through the open ``WorkloadSpec`` API —
+a heterogeneous per-thread mix, a pointer-chasing pair and an
+L1-thrashing shared hot region — and compares how well each decouples,
+using the analytic backend so the whole comparison runs in milliseconds.
+
+Run:  python examples/scenario_workloads.py
+"""
+
+from repro import RunSpec, format_table, workload_preset
+from repro.workloads import WorkloadSpec
+
+# Presets ship with the repo (see `repro-sim workloads`) ...
+presets = ["hetero4", "ptrchase2", "thrash4", "stream4"]
+
+# ... and ad-hoc specs compose from profile references with inline
+# overrides — no profile registration needed.
+custom = WorkloadSpec.mix(
+    [
+        ["swim?hot_frac=0.05&ws_bytes=16M"],   # pure streamer
+        ["fpppp?lod_rate=0.02"],               # decoupling-hostile
+    ],
+    name="custom-pair",
+)
+
+
+def measure(workload):
+    rows = []
+    for decoupled in (True, False):
+        spec = RunSpec.from_workload(
+            workload, l2_latency=64, decoupled=decoupled, backend="analytic"
+        )
+        rows.append(spec.execute())
+    dec, non = rows
+    return [
+        workload.label(),
+        workload.n_threads,
+        dec.ipc,
+        non.ipc,
+        dec.ipc / non.ipc if non.ipc else 0.0,
+        dec.perceived_load_latency,
+    ]
+
+
+def main() -> None:
+    workloads = [workload_preset(name) for name in presets] + [custom]
+    print(
+        format_table(
+            ["workload", "T", "IPC dec", "IPC non", "speedup", "pLat dec"],
+            [measure(w) for w in workloads],
+            "Decoupling across scenario workloads (analytic, L2=64)",
+        )
+    )
+    print(
+        "\nStreaming scenarios keep their perceived latency near zero; "
+        "the pointer chase and the thrashing hot region expose it — the "
+        "paper's section-2 law, now testable on any workload you can "
+        "describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

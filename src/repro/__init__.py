@@ -26,7 +26,21 @@ from repro.workloads.multiprogram import (
     multiprogram,
     single_program,
 )
-from repro.workloads.profiles import BENCH_ORDER, SPECFP95, BenchProfile
+from repro.workloads.profiles import (
+    BENCH_ORDER,
+    SPECFP95,
+    BenchProfile,
+    get_profile,
+    load_profiles,
+    register_profile,
+)
+from repro.workloads.spec import (
+    WorkloadEntry,
+    WorkloadSpec,
+    load_workload,
+    register_preset,
+    workload_preset,
+)
 
 __version__ = "1.0.0"
 
@@ -46,6 +60,14 @@ __all__ = [
     "BenchProfile",
     "SPECFP95",
     "BENCH_ORDER",
+    "WorkloadEntry",
+    "WorkloadSpec",
+    "get_profile",
+    "register_profile",
+    "load_profiles",
+    "load_workload",
+    "workload_preset",
+    "register_preset",
     "multiprogram",
     "single_program",
     "benchmark_trace",

@@ -6,10 +6,15 @@ Subcommands:
   and print it as text tables.
 * ``ablation {unit_width,fetch_policy,mshr,iq_depth,rob,all}`` — run an
   ablation study.
-* ``sweep`` — an ad-hoc grid (threads x latencies x modes, or benches x
-  latencies x modes) defined on the command line, emitted as JSON.
-* ``run`` — one custom simulation (threads / latency / mode / budgets).
-* ``bench NAME`` — one single-threaded benchmark run with a full report.
+* ``sweep`` — an ad-hoc grid (threads x latencies x modes, benches x
+  latencies x modes, or a declarative workload crossed with latencies /
+  modes / ``--workload-axis`` profile-field axes), emitted as JSON.
+* ``run`` — one custom simulation (threads / latency / mode / budgets,
+  or any ``--workload`` preset/file).
+* ``bench NAME`` — one single-threaded benchmark run with a full report
+  (NAME is any registered profile, inline overrides allowed).
+* ``workloads`` — list registered profiles and workload presets with
+  their key knobs and provenance (built-in vs user file).
 * ``conformance`` — validate the analytic fast model against the cycle
   backend over the Figure-4 grid; non-zero exit above the IPC tolerance.
 * ``golden`` — verify (or ``--refresh``) the golden-stats regression
@@ -45,15 +50,30 @@ from repro.experiments.figures import FIGURES, LATENCIES
 from repro.experiments import conformance as conf_mod
 from repro.experiments import golden as golden_mod
 from repro.experiments import perf as perf_mod
-from repro.stats.report import format_perf, format_run
-from repro.workloads.profiles import BENCH_ORDER
+from repro.stats.report import format_perf, format_run, format_table
+from repro.workloads.profiles import (
+    get_profile,
+    load_profiles,
+    profile_names,
+    profile_provenance,
+)
+from repro.workloads.spec import (
+    WorkloadEntry,
+    parse_value,
+    preset_names,
+    preset_provenance,
+    resolve_workload,
+    workload_preset,
+)
 
 EPILOG = """\
 environment variables:
   REPRO_SCALE      global instruction-budget scale factor (float, default 1.0,
-                   floor 0.05). Captured into every run's spec and therefore
-                   into its cache key, so results are never shared across
-                   different scale factors. REPRO_SCALE=0.1 for smoke sweeps.
+                   clamped to a floor of 0.05; malformed values warn once and
+                   fall back to 1.0). Captured into every run's spec and
+                   therefore into its cache key, so results are never shared
+                   across different scale factors. REPRO_SCALE=0.1 for smoke
+                   sweeps.
   REPRO_WORKERS    default worker-process count for sweeps
                    (overridden by --workers; default: all cores)
   REPRO_CACHE_DIR  result-cache directory
@@ -63,6 +83,10 @@ examples:
   REPRO_SCALE=0.2 repro-sim figure fig4 --workers 4
   repro-sim figure fig4 --backend analytic
   repro-sim sweep --threads 1,2,4 --latencies 16,64 --modes dec,non
+  repro-sim run --workload examples/workload_hetero.json --backend analytic
+  repro-sim sweep --workload thrash4 --workload-axis hot_frac=0.2,0.5,0.9
+  repro-sim workloads
+  repro-sim bench "swim?hot_frac=0.1&ws_bytes=16M"
   repro-sim ablation mshr --no-cache
   repro-sim conformance --quick
   repro-sim golden --refresh
@@ -113,6 +137,42 @@ def _int_list(text: str) -> list[int]:
     return [int(tok) for tok in text.split(",") if tok.strip()]
 
 
+def _load_profile_files(args) -> int:
+    """Register profiles from every ``--profiles`` file; 0 on success."""
+    for path in getattr(args, "profiles", None) or []:
+        try:
+            load_profiles(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"--profiles {path}: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _resolve_workload_arg(ref: str):
+    """``--workload`` value -> WorkloadSpec, or an error string."""
+    try:
+        return resolve_workload(ref)
+    except (OSError, ValueError, KeyError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        return f"--workload {ref}: {msg}"
+
+
+def _workload_axes(tokens) -> dict | str:
+    """``--workload-axis field=v1,v2`` tokens -> {field: [values]}."""
+    axes: dict = {}
+    for tok in tokens or []:
+        key, sep, vals = tok.partition("=")
+        key = key.strip()
+        values = [parse_value(v) for v in vals.split(",") if v.strip()]
+        if not sep or not key or not values:
+            return (
+                f"--workload-axis {tok!r}: expected field=value[,value...] "
+                "(e.g. hot_frac=0.1,0.4)"
+            )
+        axes[key] = values
+    return axes
+
+
 def _cmd_sweep(args) -> int:
     try:
         latencies = _int_list(args.latencies)
@@ -134,15 +194,45 @@ def _cmd_sweep(args) -> int:
         elif tok:
             print(f"unknown mode {tok!r} (use dec / non)", file=sys.stderr)
             return 2
-    if args.benches:
+    if _load_profile_files(args):
+        return 2
+    if args.workload:
+        base = _resolve_workload_arg(args.workload)
+        if isinstance(base, str):
+            print(base, file=sys.stderr)
+            return 2
+        axes = _workload_axes(args.workload_axis)
+        if isinstance(axes, str):
+            print(axes, file=sys.stderr)
+            return 2
+        workloads = [base]
+        try:
+            for key, values in axes.items():
+                workloads = [
+                    w.with_profile_overrides(**{key: v})
+                    for w in workloads
+                    for v in values
+                ]
+        except ValueError as exc:
+            print(f"--workload-axis: {exc}", file=sys.stderr)
+            return 2
+        sweep = Sweep.grid(
+            RunSpec.from_workload,
+            workload=workloads,
+            l2_latency=latencies,
+            decoupled=modes,
+            seed=args.seed,
+            commits=args.commits,
+            backend=args.backend,
+            **_deadlock_overrides(args),
+        )
+    elif args.benches:
         benches = [tok.strip() for tok in args.benches.split(",") if tok.strip()]
-        unknown = [b for b in benches if b not in BENCH_ORDER]
-        if unknown:
-            print(
-                f"unknown benchmark(s) {', '.join(unknown)}; "
-                f"known: {', '.join(BENCH_ORDER)}",
-                file=sys.stderr,
-            )
+        try:
+            for b in benches:
+                WorkloadEntry.parse(b)  # full entry incl. inline overrides
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
             return 2
         sweep = Sweep.grid(
             RunSpec.single,
@@ -268,38 +358,117 @@ def _cmd_golden(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    spec = RunSpec.multiprogrammed(
-        args.threads,
-        l2_latency=args.latency,
-        decoupled=not args.non_decoupled,
-        seed=args.seed,
-        commits_per_thread=args.commits,
-        backend=args.backend,
-        **_deadlock_overrides(args),
-    )
+    if _load_profile_files(args):
+        return 2
+    if args.workload:
+        workload = _resolve_workload_arg(args.workload)
+        if isinstance(workload, str):
+            print(workload, file=sys.stderr)
+            return 2
+        spec = RunSpec.from_workload(
+            workload,
+            l2_latency=args.latency,
+            decoupled=not args.non_decoupled,
+            seed=args.seed,
+            commits=args.commits,
+            backend=args.backend,
+            **_deadlock_overrides(args),
+        )
+        title = (
+            f"{workload.label()} ({workload.n_threads} threads, "
+            f"L2={args.latency}, "
+            f"{'non-decoupled' if args.non_decoupled else 'decoupled'})"
+        )
+    else:
+        spec = RunSpec.multiprogrammed(
+            args.threads,
+            l2_latency=args.latency,
+            decoupled=not args.non_decoupled,
+            seed=args.seed,
+            commits_per_thread=args.commits,
+            backend=args.backend,
+            **_deadlock_overrides(args),
+        )
+        mode = "non-decoupled" if args.non_decoupled else "decoupled"
+        title = f"{args.threads} threads, L2={args.latency}, {mode}"
     stats = _engine_from_args(args).run(spec)
-    mode = "non-decoupled" if args.non_decoupled else "decoupled"
-    print(format_run(stats, f"{args.threads} threads, L2={args.latency}, {mode}"))
+    print(format_run(stats, title))
     return 0
 
 
 def _cmd_bench(args) -> int:
-    if args.name not in BENCH_ORDER:
-        print(
-            f"unknown benchmark {args.name!r}; known: {', '.join(BENCH_ORDER)}",
-            file=sys.stderr,
-        )
+    if _load_profile_files(args):
         return 2
-    spec = RunSpec.single(
-        args.name,
-        l2_latency=args.latency,
-        decoupled=not args.non_decoupled,
-        seed=args.seed,
-        backend=args.backend,
-        **_deadlock_overrides(args),
-    )
+    try:
+        spec = RunSpec.single(
+            args.name,
+            l2_latency=args.latency,
+            decoupled=not args.non_decoupled,
+            seed=args.seed,
+            backend=args.backend,
+            **_deadlock_overrides(args),
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
     stats = _engine_from_args(args).run(spec)
     print(format_run(stats, f"{args.name} (1 thread, L2={args.latency})"))
+    return 0
+
+
+_KNOB_COLUMNS = (
+    ("ws", lambda p: f"{p.ws_bytes // 1024}K"),
+    ("hot%", lambda p: f"{p.hot_frac * 100:.0f}"),
+    ("hot", lambda p: f"{p.hot_bytes // 1024}K"),
+    ("gather%", lambda p: f"{p.gather_frac * 100:.0f}"),
+    ("idx_dist", lambda p: p.index_dist),
+    ("fp/ld", lambda p: p.fp_per_load),
+    ("chains", lambda p: p.n_chains),
+    ("lod", lambda p: p.lod_rate),
+)
+
+
+def _cmd_workloads(args) -> int:
+    if _load_profile_files(args):
+        return 2
+    rows = [
+        [name]
+        + [fmt(get_profile(name)) for _, fmt in _KNOB_COLUMNS]
+        + [profile_provenance(name)]
+        for name in profile_names()
+    ]
+    print(
+        format_table(
+            ["profile"] + [h for h, _ in _KNOB_COLUMNS] + ["provenance"],
+            rows,
+            "Registered benchmark profiles",
+        )
+    )
+    rows = []
+    for name in preset_names():
+        wl = workload_preset(name)
+        per_thread = []
+        for playlist in wl.threads:
+            labels = [e.label for e in playlist]
+            if len(labels) > 3:
+                per_thread.append(
+                    "+".join(labels[:3]) + f"+{len(labels) - 3} more"
+                )
+            else:
+                per_thread.append("+".join(labels))
+        uniq = list(dict.fromkeys(per_thread))
+        preview = " | ".join(uniq[:4]) + (" ..." if len(uniq) > 4 else "")
+        rows.append(
+            [name, wl.n_threads, preview, preset_provenance(name)]
+        )
+    print()
+    print(
+        format_table(
+            ["preset", "threads", "per-thread playlists", "provenance"],
+            rows,
+            "Workload presets (repro-sim run --workload NAME)",
+        )
+    )
     return 0
 
 
@@ -329,6 +498,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine: 'cycle' (faithful staged kernel) or "
              "'analytic' (mean-value fast model, microseconds per run; "
              "validated by 'repro-sim conformance')",
+    )
+
+    profile_flags = argparse.ArgumentParser(add_help=False)
+    profile_flags.add_argument(
+        "--profiles", action="append", default=None, metavar="FILE",
+        help="register benchmark profiles from a JSON/TOML file before "
+             "resolving workloads (repeatable)",
+    )
+
+    workload_flags = argparse.ArgumentParser(add_help=False)
+    workload_flags.add_argument(
+        "--workload", default=None, metavar="REF",
+        help="declarative workload: a preset name (see 'repro-sim "
+             "workloads') or a JSON/TOML workload file; overrides "
+             "--threads/--benches",
     )
 
     engine_flags = argparse.ArgumentParser(add_help=False)
@@ -366,12 +550,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="run an ad-hoc grid and print JSON",
-        parents=[engine_flags, machine_flags, backend_flags],
+        parents=[
+            engine_flags, machine_flags, backend_flags,
+            workload_flags, profile_flags,
+        ],
         description=(
             "Expand a grid of runs (threads x latencies x modes for the "
-            "multiprogrammed workload, or benches x latencies x modes for "
-            "single-benchmark runs), execute it through the engine and "
-            "print one JSON document with a spec + stats entry per run."
+            "multiprogrammed workload, benches x latencies x modes for "
+            "single-benchmark runs, or a --workload preset/file crossed "
+            "with latencies, modes and --workload-axis profile-field "
+            "axes), execute it through the engine and print one JSON "
+            "document with a spec + stats entry per run."
         ),
     )
     p.add_argument("--threads", default="4",
@@ -382,16 +571,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--modes", default="dec",
                    help="comma-separated from {dec,non} (default: dec)")
     p.add_argument("--benches", default=None,
-                   help="comma-separated benchmark names; switches the grid "
-                        "to single-benchmark runs (ignores --threads)")
+                   help="comma-separated profile names (inline overrides "
+                        "allowed); switches the grid to single-benchmark "
+                        "runs (ignores --threads)")
+    p.add_argument("--workload-axis", action="append", default=None,
+                   metavar="FIELD=V1,V2,...",
+                   help="with --workload: sweep a profile field across "
+                        "every playlist entry, e.g. hot_frac=0.1,0.4 "
+                        "(repeatable; axes combine as a grid)")
     p.add_argument("--commits", type=int, default=None,
                    help="measured-commit budget override (pre-scale, "
-                        "per thread for multiprogrammed grids)")
+                        "per thread)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
-        "run", help="one custom multithreaded run",
-        parents=[engine_flags, machine_flags, backend_flags],
+        "run", help="one custom run (threads or a declarative workload)",
+        parents=[
+            engine_flags, machine_flags, backend_flags,
+            workload_flags, profile_flags,
+        ],
     )
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--latency", type=int, default=16, help="L2 latency (cycles)")
@@ -402,12 +600,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench", help="one single-threaded benchmark run",
-        parents=[engine_flags, machine_flags, backend_flags],
+        parents=[engine_flags, machine_flags, backend_flags, profile_flags],
     )
-    p.add_argument("name", help=f"one of: {', '.join(BENCH_ORDER)}")
+    p.add_argument(
+        "name",
+        help="a registered profile name, optionally with inline overrides "
+             "('swim?hot_frac=0.1&ws_bytes=16M'); see 'repro-sim workloads'",
+    )
     p.add_argument("--latency", type=int, default=16)
     p.add_argument("--non-decoupled", action="store_true")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "workloads",
+        help="list registered profiles and workload presets",
+        parents=[profile_flags],
+        description=(
+            "Print every registered benchmark profile (key knobs + "
+            "provenance: built-in vs the file that registered it) and "
+            "every workload preset usable with --workload."
+        ),
+    )
+    p.set_defaults(func=_cmd_workloads)
 
     # golden deliberately takes no cache flags: it always compares *live*
     # semantics, so advertising --cache-dir/--no-cache would be a lie

@@ -20,7 +20,7 @@ configurations cover the paper's experimental variants:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

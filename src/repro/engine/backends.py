@@ -99,8 +99,13 @@ def get_backend(name: str) -> Backend:
             importlib.import_module(provider)
             backend = _REGISTRY.get(name)
     if backend is None:
-        known = ", ".join(sorted(set(_REGISTRY) | set(_BUILTIN_PROVIDERS)))
-        raise KeyError(f"unknown backend {name!r}; known: {known}")
+        from repro.workloads.profiles import did_you_mean
+
+        known = sorted(set(_REGISTRY) | set(_BUILTIN_PROVIDERS))
+        raise KeyError(
+            f"unknown backend {name!r}{did_you_mean(name, known)}; "
+            f"known: {', '.join(known)}"
+        )
     return backend
 
 

@@ -1,17 +1,26 @@
 """Spec layer: frozen run descriptions and declarative sweeps.
 
 A :class:`RunSpec` captures *everything* that determines a simulation's
-result — workload, machine-config overrides, instruction budgets, RNG seed,
-the executing backend (``"cycle"`` or ``"analytic"``; see
-:mod:`repro.engine.backends`) and the ``REPRO_SCALE`` factor in force when
-the spec was built. Two specs are equal iff the simulations they describe
-are identical, so a spec's stable hash (:meth:`RunSpec.key`) can address a
-result cache: a cached result can never be served across different scale
-factors, seeds, configurations or backends, because each of those is part
-of the key.
+result — the workload (an open, declarative
+:class:`~repro.workloads.spec.WorkloadSpec`: per-thread playlists of
+profile references with inline overrides), machine-config overrides,
+instruction budgets, RNG seed, the executing backend (``"cycle"`` or
+``"analytic"``; see :mod:`repro.engine.backends`) and the ``REPRO_SCALE``
+factor in force when the spec was built. Two specs are equal iff the
+simulations they describe are identical, so a spec's stable hash
+(:meth:`RunSpec.key`) can address a result cache: a cached result can
+never be served across different workloads, scale factors, seeds,
+configurations or backends, because each of those is part of the key.
 
-Budget constants live here (the experiment runners re-export them): the
-measured/warm-up commit counts behind every figure in the paper.
+The paper's two run shapes are presets, not kinds:
+:meth:`RunSpec.multiprogrammed` builds the section-3 rotation and
+:meth:`RunSpec.single` the section-2 single-benchmark run, but any
+:class:`WorkloadSpec` — a named preset, a JSON/TOML file, or one built in
+code — runs through :meth:`RunSpec.from_workload` on either backend.
+
+Budget constants live in :mod:`repro.workloads.spec` (re-exported here
+and by the experiment runners): the measured/warm-up commit counts behind
+every figure in the paper.
 """
 
 from __future__ import annotations
@@ -20,33 +29,68 @@ import hashlib
 import itertools
 import json
 import os
+import warnings
 from dataclasses import dataclass, field, fields, replace as dataclasses_replace
 from typing import Any, Iterable, Iterator
 
 from repro.stats.counters import SimStats
+from repro.workloads.spec import (
+    COMMITS_PER_THREAD,
+    SEG_INSTRS,
+    SINGLE_COMMITS,
+    SINGLE_WARMUP,
+    WARMUP_PER_THREAD,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "COMMITS_PER_THREAD",
+    "SEG_INSTRS",
+    "SINGLE_COMMITS",
+    "SINGLE_WARMUP",
+    "SPEC_VERSION",
+    "WARMUP_PER_THREAD",
+    "RunSpec",
+    "Sweep",
+    "scale_factor",
+]
 
 #: bump when the spec schema or execution semantics change incompatibly;
 #: part of the hashed payload, so stale cache entries simply stop matching.
 #: v2: wrong-path synthesis cycles a pooled PC-wrap period (PR 2).
-SPEC_VERSION = 2
+#: v3: ``kind``/``bench``/``seg_instrs`` replaced by the declarative
+#:     ``workload`` (WorkloadSpec) field (PR 4).
+SPEC_VERSION = 3
 
-#: measured commits per hardware context in multithreaded runs
-COMMITS_PER_THREAD = 15_000
-#: warm-up commits per hardware context (discarded)
-WARMUP_PER_THREAD = 8_000
-#: trace segment length per benchmark in multiprogrammed playlists
-SEG_INSTRS = 20_000
-#: single-benchmark (section 2) budgets
-SINGLE_COMMITS = 30_000
-SINGLE_WARMUP = 15_000
+#: ``scale_factor`` never returns less than this (tiny scales would
+#: shrink budgets below anything statistically meaningful — see
+#: ``_scaled``'s 500-commit floor, which binds first anyway)
+SCALE_FLOOR = 0.05
+
+_warned_bad_scale = False
 
 
 def scale_factor() -> float:
-    """Global instruction-budget scale (``REPRO_SCALE`` env var)."""
+    """Global instruction-budget scale (``REPRO_SCALE`` env var).
+
+    Values are clamped to :data:`SCALE_FLOOR`; a malformed value falls
+    back to 1.0 with a one-time :class:`RuntimeWarning` (it used to be
+    swallowed silently, which made typos look like slow runs).
+    """
+    global _warned_bad_scale
+    raw = os.environ.get("REPRO_SCALE", "1.0")
     try:
-        return max(0.05, float(os.environ.get("REPRO_SCALE", "1.0")))
+        value = float(raw)
     except ValueError:
+        if not _warned_bad_scale:
+            warnings.warn(
+                f"REPRO_SCALE={raw!r} is not a float; using 1.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_bad_scale = True
         return 1.0
+    return max(SCALE_FLOOR, value)
 
 
 def _scaled(n: int, scale: float) -> int:
@@ -55,25 +99,52 @@ def _scaled(n: int, scale: float) -> int:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One simulation, fully described. Build via :meth:`multiprogrammed`
-    or :meth:`single`; execute via :meth:`execute` (or hand a batch to the
-    scheduler)."""
+    """One simulation, fully described. Build via :meth:`from_workload`,
+    :meth:`multiprogrammed` or :meth:`single`; execute via
+    :meth:`execute` (or hand a batch to the scheduler)."""
 
-    kind: str                     # "multi" | "single"
+    workload: WorkloadSpec
     backend: str = "cycle"        # simulation engine (see engine/backends.py)
-    bench: str = ""               # single-benchmark name ("" for multi)
-    n_threads: int = 1
     l2_latency: int = 16
     decoupled: bool = True
-    scale_with_latency: bool = False   # section-2 resource scaling (single)
+    scale_with_latency: bool = False   # section-2 resource scaling
     seed: int = 0
-    commits: int | None = None    # pre-scale budget override (per thread
-    warmup: int | None = None     # for "multi", total for "single")
-    seg_instrs: int = SEG_INSTRS  # multiprogrammed playlist segment length
+    commits: int | None = None    # pre-scale budget override, per thread
+    warmup: int | None = None
     scale: float = 1.0            # REPRO_SCALE captured at spec build time
     config_overrides: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
 
     # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: WorkloadSpec,
+        l2_latency: int = 16,
+        decoupled: bool = True,
+        scale_with_latency: bool = False,
+        seed: int = 0,
+        commits: int | None = None,
+        warmup: int | None = None,
+        scale: float | None = None,
+        backend: str = "cycle",
+        **config_overrides,
+    ) -> "RunSpec":
+        """Any declarative workload — preset, file or hand-built — on a
+        configured machine. ``commits``/``warmup`` are per-thread,
+        pre-scale; unset they defer to the workload's budget hints."""
+        return cls(
+            workload=workload,
+            backend=backend,
+            l2_latency=l2_latency,
+            decoupled=decoupled,
+            scale_with_latency=scale_with_latency,
+            seed=seed,
+            commits=commits,
+            warmup=warmup,
+            scale=scale_factor() if scale is None else scale,
+            config_overrides=tuple(sorted(config_overrides.items())),
+        )
 
     @classmethod
     def multiprogrammed(
@@ -89,19 +160,18 @@ class RunSpec:
         backend: str = "cycle",
         **config_overrides,
     ) -> "RunSpec":
-        """A paper-section-3 run: rotated SPEC FP95 mix on all contexts."""
-        return cls(
-            kind="multi",
-            backend=backend,
-            n_threads=n_threads,
+        """A paper-section-3 run: rotated SPEC FP95 mix on all contexts
+        (a thin preset over :meth:`from_workload`)."""
+        return cls.from_workload(
+            WorkloadSpec.rotation(n_threads, seg_instrs=seg_instrs),
             l2_latency=l2_latency,
             decoupled=decoupled,
             seed=seed,
             commits=commits_per_thread,
             warmup=warmup_per_thread,
-            seg_instrs=seg_instrs,
-            scale=scale_factor() if scale is None else scale,
-            config_overrides=tuple(sorted(config_overrides.items())),
+            scale=scale,
+            backend=backend,
+            **config_overrides,
         )
 
     @classmethod
@@ -118,46 +188,50 @@ class RunSpec:
         backend: str = "cycle",
         **config_overrides,
     ) -> "RunSpec":
-        """A paper-section-2 run: a single benchmark on one context."""
-        return cls(
-            kind="single",
-            backend=backend,
-            bench=bench,
-            n_threads=1,
+        """A paper-section-2 run: a single benchmark on one context (a
+        thin preset over :meth:`from_workload`). The trace segment covers
+        the whole measured window, so the playlist never wraps early."""
+        scale = scale_factor() if scale is None else scale
+        seg = max(_scaled(commits or SINGLE_COMMITS, scale), 20_000)
+        return cls.from_workload(
+            WorkloadSpec.single(bench, seg_instrs=seg),
             l2_latency=l2_latency,
             decoupled=decoupled,
             scale_with_latency=scale_with_latency,
             seed=seed,
             commits=commits,
             warmup=warmup,
-            scale=scale_factor() if scale is None else scale,
-            config_overrides=tuple(sorted(config_overrides.items())),
+            scale=scale,
+            backend=backend,
+            **config_overrides,
         )
 
     def __post_init__(self):
-        if self.kind not in ("multi", "single"):
-            raise ValueError(f"unknown run kind {self.kind!r}")
-        if self.kind == "single" and not self.bench:
-            raise ValueError("single-benchmark specs need a bench name")
+        if not isinstance(self.workload, WorkloadSpec):
+            raise ValueError(
+                f"workload must be a WorkloadSpec, got "
+                f"{type(self.workload).__name__}"
+            )
         if not self.backend or not isinstance(self.backend, str):
             raise ValueError("backend must be a non-empty string")
 
     # -- identity ----------------------------------------------------------------
 
+    @property
+    def n_threads(self) -> int:
+        return self.workload.n_threads
+
     def to_dict(self) -> dict:
         """JSON-safe representation; round-trips through :meth:`from_dict`."""
         return {
-            "kind": self.kind,
+            "workload": self.workload.to_dict(),
             "backend": self.backend,
-            "bench": self.bench,
-            "n_threads": self.n_threads,
             "l2_latency": self.l2_latency,
             "decoupled": self.decoupled,
             "scale_with_latency": self.scale_with_latency,
             "seed": self.seed,
             "commits": self.commits,
             "warmup": self.warmup,
-            "seg_instrs": self.seg_instrs,
             "scale": self.scale,
             "config_overrides": dict(self.config_overrides),
         }
@@ -166,6 +240,7 @@ class RunSpec:
     def from_dict(cls, d: dict) -> "RunSpec":
         known = {f.name for f in fields(cls)}
         kw = {k: v for k, v in d.items() if k in known}
+        kw["workload"] = WorkloadSpec.from_dict(d["workload"])
         kw["config_overrides"] = tuple(
             sorted((d.get("config_overrides") or {}).items())
         )
@@ -184,9 +259,7 @@ class RunSpec:
         """Short human-readable description for logs and JSON output."""
         mode = "dec" if self.decoupled else "non-dec"
         tail = "" if self.backend == "cycle" else f" [{self.backend}]"
-        if self.kind == "single":
-            return f"{self.bench} L2={self.l2_latency} {mode}{tail}"
-        return f"{self.n_threads}T L2={self.l2_latency} {mode}{tail}"
+        return f"{self.workload.label()} L2={self.l2_latency} {mode}{tail}"
 
     # -- execution ---------------------------------------------------------------
 
@@ -195,48 +268,32 @@ class RunSpec:
         (shared by every backend, so config semantics can never drift)."""
         from repro.core.config import paper_config
 
-        overrides = dict(self.config_overrides)
-        if self.kind == "multi":
-            return paper_config(
-                n_threads=self.n_threads,
-                decoupled=self.decoupled,
-                l2_latency=self.l2_latency,
-                **overrides,
-            )
         return paper_config(
-            n_threads=1,
+            n_threads=self.workload.n_threads,
             decoupled=self.decoupled,
             l2_latency=self.l2_latency,
             scale_with_latency=self.scale_with_latency,
-            **overrides,
+            **dict(self.config_overrides),
         )
 
     def budgets(self) -> tuple[int, int]:
-        """``(measured_commits, warmup_commits)`` — totals over threads."""
-        if self.kind == "multi":
-            return (
-                _scaled(self.commits or COMMITS_PER_THREAD, self.scale)
-                * self.n_threads,
-                _scaled(self.warmup or WARMUP_PER_THREAD, self.scale)
-                * self.n_threads,
-            )
+        """``(measured_commits, warmup_commits)`` — totals over threads.
+
+        Per-thread budgets resolve as: explicit spec override, else the
+        workload's hint, else the rotation defaults; then the scale
+        factor and the 500-commit floor apply per thread.
+        """
+        wl = self.workload
+        meas = self.commits or wl.default_commits or COMMITS_PER_THREAD
+        warm = self.warmup or wl.default_warmup or WARMUP_PER_THREAD
         return (
-            _scaled(self.commits or SINGLE_COMMITS, self.scale),
-            _scaled(self.warmup or SINGLE_WARMUP, self.scale),
+            _scaled(meas, self.scale) * wl.n_threads,
+            _scaled(warm, self.scale) * wl.n_threads,
         )
 
     def playlists(self) -> list:
         """One trace playlist per hardware context (cached trace objects)."""
-        from repro.workloads.multiprogram import multiprogram, single_program
-
-        if self.kind == "multi":
-            return multiprogram(
-                self.n_threads, seg_instrs=self.seg_instrs, seed=self.seed
-            )
-        commits, _warmup = self.budgets()
-        return single_program(
-            self.bench, n_instrs=max(commits, 20_000), seed=self.seed
-        )
+        return self.workload.playlists(seed=self.seed)
 
     def instantiate(self) -> tuple:
         """Build the configured machine and its run budgets.
@@ -253,7 +310,7 @@ class RunSpec:
         cfg = self.machine_config()
         commits, warmup = self.budgets()
         proc = Processor(cfg, self.playlists(), seed=self.seed)
-        max_cycles = 4_000_000 if self.kind == "multi" else 8_000_000
+        max_cycles = 8_000_000 if self.workload.n_threads == 1 else 4_000_000
         return proc, dict(
             max_commits=commits, warmup_commits=warmup, max_cycles=max_cycles
         )

@@ -18,7 +18,7 @@ Dirty victims schedule a write-back transfer on the same bus.
 from __future__ import annotations
 
 from repro.memory.bus import Bus
-from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
+from repro.memory.cache import CONFLICT, HIT, SECONDARY, L1Cache
 from repro.memory.l2 import InfiniteL2
 from repro.memory.mshr import MSHRFile
 

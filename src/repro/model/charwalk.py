@@ -23,8 +23,11 @@ solve time, hits younger than the in-flight window (miss latency divided by
 per-thread CPI) are re-classified as merged secondary misses, which is how
 the model's miss *ratios* grow with latency the way the cycle backend's do.
 
-Results are cached per :func:`character_key` (an ``lru_cache``), so a
-1000-spec sweep over latencies and modes pays for a handful of walks.
+Results are cached per :func:`character_key` (an ``lru_cache`` keyed by
+the frozen, content-hashed :class:`~repro.workloads.spec.WorkloadSpec`
+plus budgets and cache/predictor geometry), so a 1000-spec sweep over
+latencies and modes pays for a handful of walks — and any declarative
+workload, not just the paper's rotation, characterizes the same way.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ from repro.core.context import region_salts
 from repro.core.predictor import BimodalBHT
 from repro.isa.opclass import OpClass
 from repro.memory.cache import HIT, L1Cache
-from repro.workloads.profiles import get_profile
+from repro.workloads.profiles import BenchProfile
+from repro.workloads.spec import WorkloadSpec
 
 #: number of power-of-two reuse-age buckets (ages up to 2**23 instructions)
 N_AGE_BUCKETS = 24
@@ -126,18 +130,18 @@ class WorkloadCharacter:
 def character_key(spec, cfg: MachineConfig) -> tuple:
     """Everything the walk result depends on, as a hashable key.
 
-    Deliberately excludes latencies, queue depths, widths and the
-    decoupling mode: the walk is timing-free, so all points of a latency
-    x mode sweep share one characterization.
+    Keyed on the workload itself — :class:`WorkloadSpec` is frozen and
+    hashes by content, so two specs with identical workloads share a
+    walk no matter how they were built. Deliberately excludes latencies,
+    queue depths, widths and the decoupling mode: the walk is
+    timing-free, so all points of a latency x mode sweep share one
+    characterization.
     """
     commits, warmup = spec.budgets()
-    n_threads = cfg.n_threads
+    n_threads = spec.workload.n_threads
     return (
-        spec.kind,
-        spec.bench,
-        n_threads,
+        spec.workload,
         spec.seed,
-        spec.seg_instrs,
         commits // n_threads,
         warmup // n_threads,
         cfg.l1_bytes,
@@ -157,19 +161,14 @@ def characterize(spec, cfg: MachineConfig) -> WorkloadCharacter:
 @lru_cache(maxsize=128)
 def _characterize(key: tuple) -> WorkloadCharacter:
     (
-        kind, bench, n_threads, seed, seg_instrs, meas_pt, warm_pt,
+        workload, seed, meas_pt, warm_pt,
         l1_bytes, line_bytes, bht_entries,
         salt_stream, salt_store, salt_hot,
     ) = key
-
-    from repro.workloads.multiprogram import multiprogram, single_program
-
-    if kind == "multi":
-        playlists = multiprogram(n_threads, seg_instrs=seg_instrs, seed=seed)
-    else:
-        playlists = single_program(
-            bench, n_instrs=max(meas_pt, 20_000), seed=seed
-        )
+    assert isinstance(workload, WorkloadSpec)
+    n_threads = workload.n_threads
+    playlists = workload.playlists(seed=seed)
+    profiles = workload.profiles()
 
     l1 = L1Cache(l1_bytes, line_bytes)
     n_sets = l1.n_sets
@@ -291,14 +290,13 @@ def _characterize(key: tuple) -> WorkloadCharacter:
         instrs=meas_pt * n_threads,
         reuse=tuple(tuple(row) for row in reuse),
         **counts,
-        **_blend_profiles(bench_weight),
+        **_blend_profiles(bench_weight, profiles),
     )
 
 
-def _plan(name: str) -> dict:
+def _plan(p: BenchProfile) -> dict:
     """Static per-iteration structure of one benchmark profile (mirrors
     the synthesizer's body planning — counts only, no emission)."""
-    p = get_profile(name)
     n_loads = p.n_streams * p.unroll
     ring_len = p.index_dist + 1
     max_gather = max(0, 8 // ring_len)
@@ -322,14 +320,21 @@ def _plan(name: str) -> dict:
     }
 
 
-def _blend_profiles(bench_weight: dict[str, int]) -> dict:
-    """Measured-window-weighted blend of profile-derived structure."""
+def _blend_profiles(
+    bench_weight: dict[str, int], profiles: dict[str, BenchProfile]
+) -> dict:
+    """Measured-window-weighted blend of profile-derived structure.
+
+    ``profiles`` maps trace names to resolved profiles (the workload's
+    own mapping — never the global registry, so inline variants blend
+    with their *overridden* parameters).
+    """
     total = sum(bench_weight.values()) or 1
     out = {"ep_chains": 0.0, "iter_len": 0.0, "int_use_dist": 0.0,
            "lod_per_instr": 0.0}
     for name, w in bench_weight.items():
-        plan = _plan(name)
-        p = get_profile(name)
+        p = profiles[name]
+        plan = _plan(p)
         frac = w / total
         out["ep_chains"] += frac * plan["ep_chains"]
         out["iter_len"] += frac * plan["iter_len"]

@@ -1,25 +1,63 @@
-"""Synthetic SPEC FP95-like workloads (traces, profiles, multiprogramming)."""
+"""Synthetic SPEC FP95-like workloads (traces, profiles, multiprogramming)
+and the declarative workload API (:mod:`repro.workloads.spec`)."""
 
 from repro.workloads.multiprogram import (
     benchmark_trace,
     multiprogram,
+    profile_trace,
     rotation,
     single_program,
 )
-from repro.workloads.profiles import BENCH_ORDER, SPECFP95, BenchProfile, get_profile
+from repro.workloads.profiles import (
+    BENCH_ORDER,
+    SCENARIOS,
+    SPECFP95,
+    BenchProfile,
+    get_profile,
+    load_profiles,
+    profile_names,
+    profile_provenance,
+    register_profile,
+)
+from repro.workloads.spec import (
+    SEG_INSTRS,
+    WorkloadEntry,
+    WorkloadSpec,
+    load_workload,
+    preset_names,
+    preset_provenance,
+    register_preset,
+    resolve_workload,
+    workload_preset,
+)
 from repro.workloads.synth import KernelSynthesizer, synthesize
 from repro.workloads.wrongpath import WrongPathGenerator
 
 __all__ = [
     "BenchProfile",
     "SPECFP95",
+    "SCENARIOS",
     "BENCH_ORDER",
+    "SEG_INSTRS",
+    "WorkloadEntry",
+    "WorkloadSpec",
     "get_profile",
+    "register_profile",
+    "load_profiles",
+    "profile_names",
+    "profile_provenance",
+    "load_workload",
+    "resolve_workload",
+    "workload_preset",
+    "register_preset",
+    "preset_names",
+    "preset_provenance",
     "synthesize",
     "KernelSynthesizer",
     "multiprogram",
     "single_program",
     "benchmark_trace",
+    "profile_trace",
     "rotation",
     "WrongPathGenerator",
 ]

@@ -14,18 +14,24 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.isa.trace import Trace
-from repro.workloads.profiles import BENCH_ORDER, get_profile
+from repro.workloads.profiles import BENCH_ORDER, BenchProfile, get_profile
 from repro.workloads.synth import synthesize
 
 
-@lru_cache(maxsize=64)
-def _cached_trace(name: str, n_instrs: int, seed: int) -> Trace:
-    return synthesize(get_profile(name), n_instrs, seed=seed)
+@lru_cache(maxsize=128)
+def profile_trace(profile: BenchProfile, n_instrs: int, seed: int = 0) -> Trace:
+    """A (cached) synthetic trace for one resolved profile.
+
+    Keyed by the frozen profile *value* (not its name), so two inline
+    variants of the same benchmark never share a trace — the invariant
+    :meth:`~repro.workloads.spec.WorkloadSpec.playlists` relies on.
+    """
+    return synthesize(profile, n_instrs, seed=seed)
 
 
 def benchmark_trace(name: str, n_instrs: int, seed: int = 0) -> Trace:
-    """A (cached) synthetic trace for one SPEC FP95 benchmark."""
-    return _cached_trace(name, n_instrs, seed)
+    """A (cached) synthetic trace for one registered profile, by name."""
+    return profile_trace(get_profile(name), n_instrs, seed)
 
 
 def rotation(names: list[str], start: int) -> list[str]:

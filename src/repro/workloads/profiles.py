@@ -20,14 +20,31 @@ Calibration targets are taken from the paper's own figures: Fig. 1-c miss
 ratios, Fig. 1-a/1-b perceived latencies and the qualitative classification
 in section 2 (good decouplers: tomcatv, swim, mgrid, applu, apsi; low miss
 ratios: fpppp, turb3d; degraded: su2cor, wave5, hydro2d).
+
+Beyond the paper's rotation the module keeps an **open profile registry**:
+the ten SPEC FP95 profiles are registered as built-ins, scenario profiles
+(pointer chasing, L1 thrashing, pure streaming) ship alongside them, and
+users can register their own — programmatically via
+:func:`register_profile` or from JSON/TOML files via :func:`load_profiles`
+— and reference them from any :class:`~repro.workloads.spec.WorkloadSpec`.
+Every registered profile records its *provenance* (``built-in``,
+``built-in scenario``, or the file/py source that registered it), which
+``repro-sim workloads`` displays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import difflib
+from dataclasses import asdict, dataclass, fields, replace
 
 KB = 1024
 MB = 1024 * KB
+
+
+def did_you_mean(name: str, candidates) -> str:
+    """``" — did you mean 'x'?"`` for the closest candidate, or ``""``."""
+    close = difflib.get_close_matches(str(name), list(candidates), n=1)
+    return f" — did you mean {close[0]!r}?" if close else ""
 
 
 @dataclass(frozen=True)
@@ -94,8 +111,51 @@ class BenchProfile:
     itof_rate: float = 0.004
 
     def with_overrides(self, **kwargs) -> "BenchProfile":
-        """Return a copy with selected fields replaced."""
+        """Return a copy with selected fields replaced.
+
+        Unknown field names raise a :class:`ValueError` with a
+        closest-match suggestion instead of a bare ``TypeError``.
+        """
+        known = {f.name for f in fields(self)}
+        for key in kwargs:
+            if key not in known:
+                raise ValueError(
+                    f"unknown profile field {key!r}"
+                    f"{did_you_mean(key, known)}; fields: "
+                    f"{', '.join(sorted(known))}"
+                )
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-safe field mapping; round-trips via :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchProfile":
+        """Build a profile from a field mapping.
+
+        Accepts an optional ``base`` key naming a registered profile whose
+        values seed the unspecified fields (how workload/profile files
+        derive variants without repeating every knob).
+        """
+        d = dict(d)
+        base_name = d.pop("base", None)
+        if base_name is not None:
+            base = get_profile(base_name)
+            if "name" not in d:
+                raise ValueError(
+                    f"profile derived from base {base_name!r} needs its "
+                    "own 'name'"
+                )
+            name = d.pop("name")
+            return base.with_overrides(**d).with_overrides(name=name)
+        known = {f.name for f in fields(cls)}
+        for key in d:
+            if key not in known:
+                raise ValueError(
+                    f"unknown profile field {key!r}{did_you_mean(key, known)}"
+                )
+        return cls(**d)
 
 
 def _p(name: str, **kwargs) -> BenchProfile:
@@ -196,12 +256,138 @@ BENCH_ORDER = [
     "applu", "turb3d", "apsi", "fpppp", "wave5",
 ]
 
+#: Scenario profiles beyond the paper's rotation — the workload-API
+#: demonstrators (see DESIGN.md "Workload API"):
+#:
+#: - ``ptrchase``: pointer chasing — half the FP loads gather through
+#:   integer indices loaded *in the same iteration* (zero static
+#:   scheduling distance), the regime where decoupling cannot help and
+#:   only compiler restructuring can (paper section 2's int-load result,
+#:   pushed to the extreme).
+#: - ``thrash``: a large, barely-skewed hot region that overflows its
+#:   L1 set zone; with several threads the per-thread tiles collide and
+#:   the shared L1 thrashes (the cross-thread conflict regime of Fig. 2).
+#: - ``stream``: compiler-restructured pure streaming — no hot region,
+#:   wide unrolled dense streams, write-streaming stores; the best case
+#:   for access/execute decoupling (à la DAE code restructuring).
+SCENARIOS: dict[str, BenchProfile] = {
+    "ptrchase": _p(
+        "ptrchase", n_streams=2, unroll=2, elem_bytes=8, ws_bytes=8 * MB,
+        hot_frac=0.10, hot_bytes=4 * KB, gather_frac=0.50, index_dist=0,
+        index_every=1, gather_ws_bytes=16 * KB, fp_per_load=0.9,
+        chain_depth=1, n_chains=3, store_per_load=0.10,
+        extra_ialu_per_load=0.40, iters=64,
+    ),
+    "thrash": _p(
+        "thrash", n_streams=2, unroll=2, elem_bytes=8, ws_bytes=1 * MB,
+        hot_frac=0.85, hot_bytes=12 * KB, hot_skew=0.15,
+        store_ws_bytes=8 * KB, fp_per_load=1.2, chain_depth=2, n_chains=4,
+        store_per_load=0.30, iters=96,
+    ),
+    "stream": _p(
+        "stream", n_streams=4, unroll=1, elem_bytes=8, ws_bytes=16 * MB,
+        hot_frac=0.0, store_ws_bytes=16 * MB, fp_per_load=1.5,
+        chain_depth=2, n_chains=4, store_per_load=0.50, iters=160,
+    ),
+}
+
+
+# -- registry ----------------------------------------------------------------
+
+#: name -> (profile, provenance); seeded with the built-ins below
+_REGISTRY: dict[str, tuple[BenchProfile, str]] = {}
+
+
+def register_profile(
+    profile: BenchProfile, provenance: str = "user", replace: bool = True
+) -> BenchProfile:
+    """Register ``profile`` under ``profile.name``.
+
+    ``provenance`` is a short origin string shown by ``repro-sim
+    workloads`` (built-ins use ``"built-in"``/``"built-in scenario"``;
+    :func:`load_profiles` records the source file). With
+    ``replace=False`` a name collision raises instead of shadowing.
+    """
+    if not profile.name or not isinstance(profile.name, str):
+        raise ValueError("profile needs a non-empty string name")
+    if not replace and profile.name in _REGISTRY:
+        raise ValueError(f"profile {profile.name!r} is already registered")
+    _REGISTRY[profile.name] = (profile, provenance)
+    return profile
+
 
 def get_profile(name: str) -> BenchProfile:
-    """Look up a SPEC FP95 profile by benchmark name."""
+    """Look up a registered profile by name (built-in or user)."""
     try:
-        return SPECFP95[name]
+        return _REGISTRY[name][0]
     except KeyError:
+        known = sorted(_REGISTRY)
         raise KeyError(
-            f"unknown benchmark {name!r}; known: {', '.join(BENCH_ORDER)}"
+            f"unknown profile {name!r}{did_you_mean(name, known)}; "
+            f"known: {', '.join(known)}"
         ) from None
+
+
+def profile_provenance(name: str) -> str:
+    """Where a registered profile came from (see :func:`register_profile`)."""
+    get_profile(name)  # uniform unknown-name error
+    return _REGISTRY[name][1]
+
+
+def profile_names() -> list[str]:
+    """Every registered profile name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def load_document(path) -> dict:
+    """Read one JSON (default) or TOML (by suffix) mapping from a file.
+
+    Shared by profile files and workload files
+    (:func:`~repro.workloads.spec.load_workload`), so format handling
+    can never drift between the two.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        doc = tomllib.loads(text)
+    else:
+        doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: document must be a mapping")
+    return doc
+
+
+def load_profiles(path) -> list[str]:
+    """Register every profile defined in a JSON or TOML file.
+
+    The document is either a top-level ``name -> fields`` mapping or a
+    ``{"profiles": {name -> fields}}`` wrapper (the same shape workload
+    files embed). Field sets may use ``"base": "<registered name>"`` to
+    derive from an existing profile. Returns the registered names.
+    """
+    doc = load_document(path)
+    table = doc.get("profiles", doc)
+    if not isinstance(table, dict):
+        raise ValueError(f"{path}: 'profiles' must map names to fields")
+    names = []
+    for name, body in table.items():
+        if not isinstance(body, dict):
+            raise ValueError(f"{path}: profile {name!r} must be a mapping")
+        body = {"name": name, **body}
+        register_profile(
+            BenchProfile.from_dict(body), provenance=str(path)
+        )
+        names.append(name)
+    return names
+
+
+for _name in BENCH_ORDER:
+    register_profile(SPECFP95[_name], provenance="built-in")
+for _name, _profile in SCENARIOS.items():
+    register_profile(_profile, provenance="built-in scenario")
+del _name, _profile

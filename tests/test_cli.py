@@ -76,7 +76,9 @@ class TestCommands:
 
         # tables must be byte-identical between cold and warm runs
         def tables(out):
-            return [l for l in out.splitlines() if not l.startswith("[fig3:")]
+            return [
+                ln for ln in out.splitlines() if not ln.startswith("[fig3:")
+            ]
 
         assert tables(first) == tables(second)
 
@@ -120,7 +122,9 @@ class TestSweepCommand:
                      "--commits", "1500"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["n_runs"] == 1
-        assert doc["runs"][0]["spec"]["kind"] == "single"
+        wl = doc["runs"][0]["spec"]["workload"]
+        assert wl["name"] == "applu"
+        assert len(wl["threads"]) == 1
 
     def test_rejects_unknown_mode(self, capsys):
         assert main(["sweep", "--modes", "sideways"]) == 2

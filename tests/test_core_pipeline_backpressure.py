@@ -1,8 +1,6 @@
 """Structural back-pressure: every finite resource must stall dispatch
 gracefully (never deadlock, never overflow)."""
 
-import pytest
-
 from conftest import ProgramBuilder, run_program
 
 from repro.core.config import MachineConfig

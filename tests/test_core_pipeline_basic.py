@@ -1,8 +1,7 @@
 """End-to-end micro-program tests of the pipeline's basic behaviours."""
 
-from conftest import ProgramBuilder, run_program
+from conftest import run_program
 
-from repro.core.config import MachineConfig
 from repro.isa.opclass import OpClass
 
 

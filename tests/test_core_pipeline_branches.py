@@ -3,7 +3,6 @@
 from conftest import ProgramBuilder, run_program
 
 from repro.core.config import MachineConfig
-from repro.isa.opclass import OpClass
 
 
 def mispredicting_program(n_blocks: int = 30):

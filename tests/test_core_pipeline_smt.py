@@ -1,6 +1,6 @@
 """Simultaneous multithreading: shared issue slots, fetch policy, scaling."""
 
-from conftest import ProgramBuilder, run_program
+from conftest import ProgramBuilder
 
 from repro.core.config import MachineConfig
 from repro.core.processor import Processor

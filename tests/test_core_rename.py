@@ -1,7 +1,5 @@
 """Register renaming: mapping, free lists, undo, invariants."""
 
-import pytest
-
 from repro.core.rename import RenameFile
 from repro.isa.registers import FP_BASE, FP_ZERO, INT_ZERO
 

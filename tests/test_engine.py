@@ -65,8 +65,10 @@ class TestRunSpecIdentity:
         assert spec.with_backend("cycle") is spec
 
     def test_backend_validated(self):
+        from repro.workloads.spec import WorkloadSpec
+
         with pytest.raises(ValueError):
-            RunSpec(kind="multi", backend="")
+            RunSpec(workload=WorkloadSpec.rotation(1), backend="")
 
     def test_override_order_is_canonical(self):
         a = RunSpec.multiprogrammed(1, mshrs=8, fetch_policy="rr")
@@ -79,13 +81,22 @@ class TestRunSpecIdentity:
         assert clone == spec
         assert clone.key() == spec.key()
 
-    def test_single_requires_bench(self):
-        with pytest.raises(ValueError):
-            RunSpec(kind="single")
+    def test_single_requires_known_profile(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            RunSpec.single("swmi")
 
-    def test_kind_validated(self):
-        with pytest.raises(ValueError):
-            RunSpec(kind="bogus")
+    def test_workload_validated(self):
+        with pytest.raises(ValueError, match="WorkloadSpec"):
+            RunSpec(workload="swim")
+
+    def test_workload_is_part_of_the_key(self):
+        from repro.workloads.spec import WorkloadSpec
+
+        a = RunSpec.from_workload(WorkloadSpec.single("swim"), scale=1.0)
+        b = RunSpec.from_workload(
+            WorkloadSpec.single("swim?hot_frac=0.1"), scale=1.0
+        )
+        assert a.key() != b.key()
 
 
 class TestSweep:

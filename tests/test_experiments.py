@@ -1,7 +1,5 @@
 """Experiment harness: runners, figure drivers, renderers (tiny budgets)."""
 
-import os
-
 import pytest
 
 from repro.experiments import ablations, figures

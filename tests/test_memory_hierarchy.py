@@ -1,7 +1,5 @@
 """MemorySystem facade: end-to-end miss timing, MSHRs, bus, ports."""
 
-import pytest
-
 from repro.memory.hierarchy import (
     S_BLOCKED,
     S_HIT,

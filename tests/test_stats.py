@@ -5,7 +5,6 @@ from repro.stats.counters import (
     SLOT_IDLE,
     SLOT_USEFUL,
     SLOT_WAIT_FU,
-    SLOT_WAIT_MEM,
     SimStats,
 )
 from repro.stats.report import format_run, format_table

@@ -1,0 +1,412 @@
+"""The declarative workload API: spec round-trips, registries, CLI."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import RunSpec, get_backend
+from repro.engine.spec import scale_factor
+from repro.workloads.profiles import (
+    BenchProfile,
+    get_profile,
+    load_profiles,
+    profile_names,
+    profile_provenance,
+    register_profile,
+)
+from repro.workloads.spec import (
+    WorkloadEntry,
+    WorkloadSpec,
+    load_workload,
+    parse_value,
+    preset_names,
+    resolve_workload,
+    workload_preset,
+)
+
+
+@pytest.fixture(autouse=True)
+def fast_scale(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+
+
+@pytest.fixture
+def clean_registry():
+    """Snapshot/restore the profile registry around mutation tests."""
+    from repro.workloads import profiles as mod
+
+    before = dict(mod._REGISTRY)
+    yield
+    mod._REGISTRY.clear()
+    mod._REGISTRY.update(before)
+
+
+class TestEntryParsing:
+    def test_plain_reference(self):
+        entry = WorkloadEntry.parse("swim")
+        assert entry.profile == get_profile("swim")
+        assert entry.seg_instrs is None
+
+    def test_inline_overrides_and_sizes(self):
+        entry = WorkloadEntry.parse("swim?hot_frac=0.1&ws_bytes=16M")
+        assert entry.profile.hot_frac == 0.1
+        assert entry.profile.ws_bytes == 16 * 1024 * 1024
+        assert entry.label == "swim?hot_frac=0.1&ws_bytes=16777216"
+
+    def test_seg_instrs_is_reserved(self):
+        entry = WorkloadEntry.parse("swim?seg_instrs=5000")
+        assert entry.seg_instrs == 5000
+        assert entry.profile == get_profile("swim")
+
+    def test_value_coercion(self):
+        assert parse_value("4K") == 4096
+        assert parse_value("1.5M") == int(1.5 * 1024 * 1024)
+        assert parse_value("true") is True
+        assert parse_value("3") == 3
+        assert parse_value("0.25") == 0.25
+        assert parse_value("icount") == "icount"
+
+    def test_unknown_profile_suggests(self):
+        with pytest.raises(KeyError, match="did you mean 'swim'"):
+            WorkloadEntry.parse("swmi")
+
+    def test_unknown_field_suggests(self):
+        with pytest.raises(ValueError, match="hot_frac"):
+            WorkloadEntry.parse("swim?hot_fracc=0.1")
+
+    def test_malformed_query_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            WorkloadEntry.parse("swim?hot_frac")
+
+    def test_nonpositive_seg_instrs_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WorkloadEntry.parse("swim?seg_instrs=-5000")
+        with pytest.raises(ValueError, match="positive"):
+            WorkloadEntry.parse("swim?seg_instrs=0")
+
+
+class TestWorkloadSpecIdentity:
+    def test_dict_round_trip(self):
+        wl = workload_preset("hetero4")
+        clone = WorkloadSpec.from_dict(json.loads(json.dumps(wl.to_dict())))
+        assert clone == wl
+        assert clone.key() == wl.key()
+        assert hash(clone) == hash(wl)
+
+    def test_round_trip_is_registry_independent(self, clean_registry):
+        register_profile(
+            get_profile("swim").with_overrides(name="mine", hot_frac=0.2)
+        )
+        wl = WorkloadSpec.mix([["mine"]], name="uses-user-profile")
+        d = json.loads(json.dumps(wl.to_dict()))
+        from repro.workloads import profiles as mod
+
+        del mod._REGISTRY["mine"]
+        clone = WorkloadSpec.from_dict(d)  # no registry lookup needed
+        assert clone == wl
+
+    def test_key_stable_across_processes(self):
+        wl = workload_preset("hetero4")
+        code = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.workloads.spec import workload_preset;"
+            "print(workload_preset('hetero4').key())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, cwd=".",
+        ).stdout.strip()
+        assert out == wl.key()
+
+    def test_single_field_isolates_cache_keys(self):
+        base = RunSpec.from_workload(
+            WorkloadSpec.mix([["swim?hot_frac=0.4"]], name="w"), scale=1.0
+        )
+        other = RunSpec.from_workload(
+            WorkloadSpec.mix([["swim?hot_frac=0.41"]], name="w"), scale=1.0
+        )
+        assert base.workload != other.workload
+        assert base.key() != other.key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1 thread"):
+            WorkloadSpec(name="empty", threads=())
+        with pytest.raises(ValueError, match=">= 1 entry"):
+            WorkloadSpec(name="hole", threads=((),))
+
+    def test_name_collision_with_different_fields_rejected(self):
+        # the characterization walk keys profile blending by trace name;
+        # one name binding two field sets would silently blend wrong
+        a = WorkloadEntry(get_profile("swim").with_overrides(hot_frac=0.1))
+        b = WorkloadEntry(get_profile("swim").with_overrides(hot_frac=0.9))
+        with pytest.raises(ValueError, match="distinct names"):
+            WorkloadSpec(name="clash", threads=((a,), (b,)))
+        # identical duplicates are fine (homogeneous workloads)
+        WorkloadSpec(name="dup", threads=((a,), (a,)))
+
+    def test_with_profile_overrides(self):
+        wl = workload_preset("thrash4")
+        hot = wl.with_profile_overrides(hot_frac=0.33)
+        assert hot.key() != wl.key()
+        assert all(
+            e.profile.hot_frac == 0.33
+            for pl in hot.threads for e in pl
+        )
+        assert "hot_frac=0.33" in hot.threads[0][0].label
+
+
+class TestBothBackendsConsumeOneSpec:
+    @pytest.mark.parametrize("backend", ["cycle", "analytic"])
+    def test_preset_runs_on_backend(self, backend):
+        wl = workload_preset("ptrchase2")
+        spec = RunSpec.from_workload(
+            wl, commits=1200, warmup=300, backend=backend
+        )
+        stats = spec.execute()
+        # the cycle kernel may commit up to one extra cycle's width
+        assert stats.committed >= spec.budgets()[0]
+        assert stats.ipc > 0
+
+    def test_characterization_keys_on_workload(self):
+        from repro.model.charwalk import character_key
+
+        wl = workload_preset("hetero4")
+        a = RunSpec.from_workload(wl, backend="analytic")
+        b = RunSpec.from_workload(wl, l2_latency=256, backend="analytic")
+        assert character_key(a, a.machine_config()) == character_key(
+            b, b.machine_config()
+        )
+        other = RunSpec.from_workload(
+            wl.with_profile_overrides(hot_frac=0.2), backend="analytic"
+        )
+        assert character_key(a, a.machine_config()) != character_key(
+            other, other.machine_config()
+        )
+
+    def test_decoupling_helps_stream_not_ptrchase(self):
+        # the scenario presets reproduce the paper's qualitative law:
+        # decoupling hides FP-load latency (the streaming preset sees an
+        # almost-zero perceived latency), but integer loads on the
+        # address-generation path — the pointer chase — stay exposed at
+        # nearly their non-decoupled cost (paper section 2)
+        def run(preset, decoupled):
+            return RunSpec.from_workload(
+                workload_preset(preset), l2_latency=64,
+                decoupled=decoupled, commits=1500, warmup=400,
+            ).execute()
+
+        stream = run("stream4", True)
+        assert stream.perceived_fp_latency < 5.0
+        assert stream.average_slip > 10.0
+        chase_dec = run("ptrchase2", True)
+        chase_non = run("ptrchase2", False)
+        assert chase_dec.perceived_int_latency > 20.0
+        assert (
+            chase_dec.perceived_int_latency
+            > 0.8 * chase_non.perceived_int_latency
+        )
+
+
+class TestProfileRegistry:
+    def test_builtins_present_with_provenance(self):
+        assert "swim" in profile_names()
+        assert profile_provenance("swim") == "built-in"
+        assert profile_provenance("ptrchase") == "built-in scenario"
+
+    def test_load_profiles_json(self, tmp_path, clean_registry):
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps({
+            "profiles": {
+                "solver": {"base": "su2cor", "gather_frac": 0.3},
+                "scratch": {"ws_bytes": 4096},
+            }
+        }))
+        assert sorted(load_profiles(path)) == ["scratch", "solver"]
+        assert get_profile("solver").gather_frac == 0.3
+        assert get_profile("scratch").ws_bytes == 4096
+        assert profile_provenance("solver") == str(path)
+
+    def test_load_profiles_toml(self, tmp_path, clean_registry):
+        path = tmp_path / "mine.toml"
+        path.write_text(
+            "[profiles.dense]\nbase = \"mgrid\"\nn_chains = 8\n"
+        )
+        assert load_profiles(path) == ["dense"]
+        assert get_profile("dense").n_chains == 8
+
+    def test_unknown_base_profile_suggests(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"p": {"base": "mgird"}}))
+        with pytest.raises(KeyError, match="did you mean 'mgrid'"):
+            load_profiles(path)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile field"):
+            BenchProfile.from_dict({"name": "x", "hotness": 1})
+
+
+class TestWorkloadFilesAndPresets:
+    def test_load_workload_json_with_embedded_profiles(
+        self, tmp_path, clean_registry
+    ):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({
+            "name": "filed",
+            "seg_instrs": 4000,
+            "profiles": {"mine": {"base": "swim", "hot_frac": 0.05}},
+            "threads": [["mine"], ["fpppp?seg_instrs=2500"]],
+        }))
+        wl = load_workload(path)
+        assert wl.n_threads == 2
+        assert wl.threads[0][0].profile.hot_frac == 0.05
+        assert wl.threads[1][0].seg_instrs == 2500
+        assert profile_provenance("mine") == str(path)
+
+    def test_example_files_resolve(self):
+        for ref in (
+            "examples/workload_hetero.json",
+            "examples/workload_ptrchase.json",
+            "examples/workload_thrash.toml",
+        ):
+            wl = resolve_workload(ref)
+            assert wl.n_threads >= 2
+
+    def test_builtin_presets(self):
+        assert {"hetero4", "ptrchase2", "thrash4", "stream4"} <= set(
+            preset_names()
+        )
+        assert workload_preset("paper-rot4").n_threads == 4
+        assert workload_preset("paper-swim").n_threads == 1
+
+    def test_unknown_preset_suggests(self):
+        with pytest.raises(KeyError, match="did you mean 'hetero4'"):
+            workload_preset("hetero")
+
+
+class TestDidYouMeanEverywhere:
+    def test_backend_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'analytic'"):
+            get_backend("analytics")
+
+    def test_profile_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'fpppp'"):
+            get_profile("fppp")
+
+
+class TestScaleFactor:
+    def test_malformed_warns_once(self, monkeypatch):
+        import repro.engine.spec as spec_mod
+
+        monkeypatch.setenv("REPRO_SCALE", "fast")
+        monkeypatch.setattr(spec_mod, "_warned_bad_scale", False)
+        with pytest.warns(RuntimeWarning, match="REPRO_SCALE"):
+            assert scale_factor() == 1.0
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")  # a second warning would raise
+            assert scale_factor() == 1.0
+
+    def test_floor_documented_and_applied(self, monkeypatch):
+        from repro.engine.spec import SCALE_FLOOR
+
+        monkeypatch.setenv("REPRO_SCALE", "0.000001")
+        assert scale_factor() == SCALE_FLOOR
+
+
+class TestCli:
+    def test_workloads_lists_profiles_and_presets(self, capsys):
+        from repro.cli import main
+
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "ptrchase" in out and "hetero4" in out
+        assert "built-in scenario" in out
+
+    def test_workloads_with_user_file(self, tmp_path, capsys,
+                                      clean_registry):
+        from repro.cli import main
+
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps({"zippy": {"base": "swim"}}))
+        assert main(["workloads", "--profiles", str(path)]) == 0
+        assert "zippy" in capsys.readouterr().out
+
+    def test_run_workload_file_both_backends_and_cache(
+        self, tmp_path, capsys, clean_registry
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({
+            "name": "filed",
+            "seg_instrs": 3000,
+            "default_commits": 1200,
+            "default_warmup": 300,
+            "profiles": {"mine": {"base": "turb3d", "iters": 32}},
+            "threads": [["mine"], ["swim"]],
+        }))
+        for backend in ("cycle", "analytic"):
+            assert main(["run", "--workload", str(path),
+                         "--backend", backend]) == 0
+            assert "filed" in capsys.readouterr().out
+        # warm rerun: served from the content-addressed cache
+        assert main(["run", "--workload", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--workload", str(path)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_over_workload_field(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--workload", "ptrchase2",
+                     "--workload-axis", "index_dist=0,4",
+                     "--commits", "1200", "--no-cache"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 2
+        dists = [
+            pl[0]["profile"]["index_dist"]
+            for run in doc["runs"]
+            for pl in [run["spec"]["workload"]["threads"][0]]
+        ]
+        assert dists == [0, 4]
+
+    def test_sweep_rejects_bad_axis(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--workload", "ptrchase2",
+                     "--workload-axis", "index_dist"]) == 2
+        assert "field=value" in capsys.readouterr().err
+        assert main(["sweep", "--workload", "ptrchase2",
+                     "--workload-axis", "bogus_knob=1"]) == 2
+        assert "unknown profile field" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_preset(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--workload", "heterro4"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_bench_accepts_inline_overrides(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "ptrchase?index_dist=2"]) == 0
+        assert "ptrchase" in capsys.readouterr().out
+
+    def test_bench_unknown_suggests(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "ptrchas"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_sweep_benches_rejects_bad_inline_override(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--benches", "swim?bogus_field=1"]) == 2
+        assert "unknown profile field" in capsys.readouterr().err
+        assert main(["sweep", "--benches", "swim?hot_frac"]) == 2
+        assert "malformed" in capsys.readouterr().err

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.isa.opclass import OpClass, Unit
-from repro.workloads.profiles import BENCH_ORDER, SPECFP95, get_profile
+from repro.isa.opclass import OpClass
+from repro.workloads.profiles import BENCH_ORDER, get_profile
 from repro.workloads.synth import (
     FOLD_WINDOW,
     GATHER_BASE,
