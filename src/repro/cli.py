@@ -4,8 +4,8 @@ Subcommands:
 
 * ``figure {fig1,fig3,fig4,fig5,all}`` — regenerate a paper figure's data
   and print it as text tables.
-* ``ablation {unit_width,fetch_policy,mshr,iq_depth,rob,all}`` — run an
-  ablation study.
+* ``ablation {unit_width,fetch_policy,mshr,iq_depth,rob,l2_finite,
+  prefetch,bus_width,all}`` — run an ablation study.
 * ``sweep`` — an ad-hoc grid (threads x latencies x modes, benches x
   latencies x modes, or a declarative workload crossed with latencies /
   modes / ``--workload-axis`` profile-field axes), emitted as JSON.
@@ -50,6 +50,12 @@ from repro.experiments.figures import FIGURES, LATENCIES
 from repro.experiments import conformance as conf_mod
 from repro.experiments import golden as golden_mod
 from repro.experiments import perf as perf_mod
+from repro.memory.spec import (
+    mem_preset,
+    mem_preset_names,
+    mem_preset_provenance,
+    resolve_memspec,
+)
 from repro.stats.report import format_perf, format_run, format_table
 from repro.workloads.profiles import (
     get_profile,
@@ -85,6 +91,9 @@ examples:
   repro-sim sweep --threads 1,2,4 --latencies 16,64 --modes dec,non
   repro-sim run --workload examples/workload_hetero.json --backend analytic
   repro-sim sweep --workload thrash4 --workload-axis hot_frac=0.2,0.5,0.9
+  repro-sim run --mem l2_finite --threads 4 --latency 64
+  repro-sim sweep --mem l2_finite --mem-axis L2.capacity_bytes=256K,1M,4M
+  repro-sim sweep --mem-axis prefetch_kind=none,nextline --backend analytic
   repro-sim workloads
   repro-sim bench "swim?hot_frac=0.1&ws_bytes=16M"
   repro-sim ablation mshr --no-cache
@@ -157,6 +166,37 @@ def _resolve_workload_arg(ref: str):
         return f"--workload {ref}: {msg}"
 
 
+def _resolve_mem_arg(ref: str | None):
+    """``--mem`` value -> MemSpec (or None), or an error string."""
+    if ref is None:
+        return None
+    try:
+        return resolve_memspec(ref)
+    except (OSError, ValueError, KeyError) as exc:
+        msg = exc.args[0] if exc.args else exc
+        return f"--mem {ref}: {msg}"
+
+
+def _mem_axis_grid(base, tokens) -> list | str:
+    """``--mem-axis field=v1,v2`` tokens -> the list of MemSpecs the grid
+    crosses (``[base]`` when no axes were given)."""
+    mems = [base]
+    for tok in tokens or []:
+        key, sep, vals = tok.partition("=")
+        key = key.strip()
+        values = [parse_value(v) for v in vals.split(",") if v.strip()]
+        if not sep or not key or not values:
+            return (
+                f"--mem-axis {tok!r}: expected field=value[,value...] "
+                "(e.g. L2.capacity_bytes=256K,1M or prefetch_degree=1,2)"
+            )
+        try:
+            mems = [m.override(key, v) for m in mems for v in values]
+        except ValueError as exc:
+            return f"--mem-axis: {exc.args[0] if exc.args else exc}"
+    return mems
+
+
 def _workload_axes(tokens) -> dict | str:
     """``--workload-axis field=v1,v2`` tokens -> {field: [values]}."""
     axes: dict = {}
@@ -196,6 +236,16 @@ def _cmd_sweep(args) -> int:
             return 2
     if _load_profile_files(args):
         return 2
+    base_mem = _resolve_mem_arg(args.mem)
+    if isinstance(base_mem, str):
+        print(base_mem, file=sys.stderr)
+        return 2
+    if args.mem_axis and base_mem is None:
+        base_mem = mem_preset("classic")
+    mems = _mem_axis_grid(base_mem, args.mem_axis)
+    if isinstance(mems, str):
+        print(mems, file=sys.stderr)
+        return 2
     if args.workload:
         base = _resolve_workload_arg(args.workload)
         if isinstance(base, str):
@@ -219,6 +269,7 @@ def _cmd_sweep(args) -> int:
         sweep = Sweep.grid(
             RunSpec.from_workload,
             workload=workloads,
+            mem=mems,
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
@@ -237,6 +288,7 @@ def _cmd_sweep(args) -> int:
         sweep = Sweep.grid(
             RunSpec.single,
             bench=benches,
+            mem=mems,
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
@@ -248,6 +300,7 @@ def _cmd_sweep(args) -> int:
         sweep = Sweep.grid(
             RunSpec.multiprogrammed,
             n_threads=threads,
+            mem=mems,
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
@@ -360,6 +413,10 @@ def _cmd_golden(args) -> int:
 def _cmd_run(args) -> int:
     if _load_profile_files(args):
         return 2
+    mem = _resolve_mem_arg(args.mem)
+    if isinstance(mem, str):
+        print(mem, file=sys.stderr)
+        return 2
     if args.workload:
         workload = _resolve_workload_arg(args.workload)
         if isinstance(workload, str):
@@ -372,6 +429,7 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             commits=args.commits,
             backend=args.backend,
+            mem=mem,
             **_deadlock_overrides(args),
         )
         title = (
@@ -387,6 +445,7 @@ def _cmd_run(args) -> int:
             seed=args.seed,
             commits_per_thread=args.commits,
             backend=args.backend,
+            mem=mem,
             **_deadlock_overrides(args),
         )
         mode = "non-decoupled" if args.non_decoupled else "decoupled"
@@ -399,6 +458,10 @@ def _cmd_run(args) -> int:
 def _cmd_bench(args) -> int:
     if _load_profile_files(args):
         return 2
+    mem = _resolve_mem_arg(args.mem)
+    if isinstance(mem, str):
+        print(mem, file=sys.stderr)
+        return 2
     try:
         spec = RunSpec.single(
             args.name,
@@ -406,6 +469,7 @@ def _cmd_bench(args) -> int:
             decoupled=not args.non_decoupled,
             seed=args.seed,
             backend=args.backend,
+            mem=mem,
             **_deadlock_overrides(args),
         )
     except (KeyError, ValueError) as exc:
@@ -469,6 +533,42 @@ def _cmd_workloads(args) -> int:
             "Workload presets (repro-sim run --workload NAME)",
         )
     )
+    rows = []
+    for name in mem_preset_names():
+        ms = mem_preset(name)
+        levels = []
+        for lvl in ms.levels:
+            cap = lvl.capacity_bytes
+            if cap is None:
+                cap = "inf"
+            elif isinstance(cap, int):
+                cap = f"{cap // 1024}K"
+            tag = f"{lvl.name}:{cap}"
+            if lvl.assoc > 1:
+                tag += f"/{lvl.assoc}w"
+            if not lvl.shared:
+                tag += "/split"
+            levels.append(tag)
+        ic = ms.interconnect
+        width = (
+            f"{ic.bytes_per_cycle}B"
+            if isinstance(ic.bytes_per_cycle, int) else str(ic.bytes_per_cycle)
+        )
+        bus = f"{width} {ic.policy}"
+        pf = ms.prefetch
+        pref = "-" if pf.kind == "none" else f"{pf.kind} x{pf.degree}"
+        rows.append(
+            [name, " > ".join(levels), bus, pref,
+             mem_preset_provenance(name)]
+        )
+    print()
+    print(
+        format_table(
+            ["mem preset", "levels", "bus", "prefetch", "provenance"],
+            rows,
+            "Memory-hierarchy presets (repro-sim run --mem NAME)",
+        )
+    )
     return 0
 
 
@@ -515,6 +615,15 @@ def build_parser() -> argparse.ArgumentParser:
              "--threads/--benches",
     )
 
+    mem_flags = argparse.ArgumentParser(add_help=False)
+    mem_flags.add_argument(
+        "--mem", default=None, metavar="REF",
+        help="declarative memory hierarchy: a preset name "
+             f"({', '.join(mem_preset_names())}; see 'repro-sim "
+             "workloads') or a JSON/TOML MemSpec file; default: the "
+             "classic paper machine built from the config scalars",
+    )
+
     engine_flags = argparse.ArgumentParser(add_help=False)
     g = engine_flags.add_argument_group("engine")
     g.add_argument(
@@ -552,7 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an ad-hoc grid and print JSON",
         parents=[
             engine_flags, machine_flags, backend_flags,
-            workload_flags, profile_flags,
+            workload_flags, profile_flags, mem_flags,
         ],
         description=(
             "Expand a grid of runs (threads x latencies x modes for the "
@@ -579,6 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --workload: sweep a profile field across "
                         "every playlist entry, e.g. hot_frac=0.1,0.4 "
                         "(repeatable; axes combine as a grid)")
+    p.add_argument("--mem-axis", action="append", default=None,
+                   metavar="FIELD=V1,V2,...",
+                   help="sweep a memory-hierarchy field over the --mem "
+                        "spec (default: classic), e.g. "
+                        "L2.capacity_bytes=256K,1M or prefetch_degree=1,2 "
+                        "(repeatable; axes combine as a grid)")
     p.add_argument("--commits", type=int, default=None,
                    help="measured-commit budget override (pre-scale, "
                         "per thread)")
@@ -588,7 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="one custom run (threads or a declarative workload)",
         parents=[
             engine_flags, machine_flags, backend_flags,
-            workload_flags, profile_flags,
+            workload_flags, profile_flags, mem_flags,
         ],
     )
     p.add_argument("--threads", type=int, default=4)
@@ -600,7 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench", help="one single-threaded benchmark run",
-        parents=[engine_flags, machine_flags, backend_flags, profile_flags],
+        parents=[
+            engine_flags, machine_flags, backend_flags, profile_flags,
+            mem_flags,
+        ],
     )
     p.add_argument(
         "name",

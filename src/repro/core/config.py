@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.memory.spec import MemSpec
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -72,6 +74,12 @@ class MachineConfig:
     mshrs: int = 16
     l2_latency: int = 16
     bus_bytes_per_cycle: int = 16
+    #: declarative memory hierarchy (:class:`~repro.memory.spec.MemSpec`).
+    #: ``None`` builds the classic machine from the scalars above; a custom
+    #: spec may still inherit any scalar through its ``AUTO`` fields (so
+    #: e.g. the ``l2_latency`` sweep axis keeps working for finite-L2
+    #: machines). Resolve via :meth:`memory`.
+    mem: MemSpec | None = None
 
     # -- workload plumbing --------------------------------------------------------------
     #: Per-thread data-address salts (region-aware). Each salt's 64 MB
@@ -100,12 +108,23 @@ class MachineConfig:
             raise ValueError("deadlock_cycles must be >= 1")
         if self.fetch_policy not in ("icount", "rr"):
             raise ValueError(f"unknown fetch policy {self.fetch_policy!r}")
+        if self.mem is not None and not isinstance(self.mem, MemSpec):
+            raise ValueError(
+                f"mem must be a MemSpec or None, got "
+                f"{type(self.mem).__name__}"
+            )
 
     # -- derived configurations ---------------------------------------------------------
 
     def with_overrides(self, **kwargs) -> "MachineConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def memory(self) -> MemSpec:
+        """The fully-resolved memory hierarchy this machine runs on:
+        :attr:`mem` (or the classic default spec) with every ``AUTO``
+        field bound to this config's scalars."""
+        return (self.mem or MemSpec()).resolve(self)
 
     def scaled_for_latency(self, l2_latency: int) -> "MachineConfig":
         """Scale latency-hiding resources proportionally to the L2 latency

@@ -220,6 +220,9 @@ class Processor:
         if max_commits is None and max_cycles is None:
             raise ValueError("need at least one stop condition")
         st = self.state
+        # a tick-driven prefetcher mutates memory state on a clock the
+        # skip() contract cannot replay; fall back to the per-cycle walk
+        fast_forward = fast_forward and st.mem.fast_forward_safe
         if warmup_commits:
             target = st.total_committed + warmup_commits
             idle_hint = False
@@ -259,6 +262,11 @@ class Processor:
         stats.line_fills = st.mem.fills
         stats.writebacks = st.mem.writebacks
         stats.mshr_alloc_failures = st.mem.mshrs.alloc_failures
+        stats.blocked_requests = st.mem.blocked_requests
+        stats.level_stats = st.mem.level_stats()
+        stats.prefetch_fills = st.mem.prefetch_fills
+        stats.prefetch_hits = st.mem.prefetch_hits
+        stats.prefetch_dropped = st.mem.prefetch_dropped
         stats.committed_per_thread = {
             t.tid: t.committed for t in st.threads
         }

@@ -256,7 +256,7 @@ def _try_issue(st: MachineState, t: ThreadContext, d: DynInst, now: int):
         else:
             if not mem.port_available():
                 return (SLOT_OTHER, None, d)
-            status, when = mem.load(t.salted(d.static.addr), now)
+            status, when = mem.load(t.salted(d.static.addr), now, t.tid)
             if status == S_BLOCKED:
                 return (SLOT_OTHER, None, d)
             mem.claim_port()
@@ -539,7 +539,7 @@ class StoreDrainStage(Stage):
                     break
                 if not mem.port_available():
                     return
-                status, _when = mem.store(t.salted(d.static.addr), now)
+                status, _when = mem.store(t.salted(d.static.addr), now, t.tid)
                 if status == S_BLOCKED:
                     break
                 mem.claim_port()

@@ -72,13 +72,9 @@ class MachineState:
             )
         self.cfg = cfg
         self.mem = MemorySystem(
-            l1_bytes=cfg.l1_bytes,
+            cfg.memory(),
+            n_threads=cfg.n_threads,
             line_bytes=cfg.line_bytes,
-            l1_ports=cfg.l1_ports,
-            mshrs=cfg.mshrs,
-            l2_latency=cfg.l2_latency,
-            bus_bytes_per_cycle=cfg.bus_bytes_per_cycle,
-            l1_hit_latency=cfg.l1_hit_latency,
         )
         self.threads = [
             ThreadContext(t, cfg, playlists[t], seed=seed, wrap=wrap)

@@ -33,6 +33,7 @@ import warnings
 from dataclasses import dataclass, field, fields, replace as dataclasses_replace
 from typing import Any, Iterable, Iterator
 
+from repro.memory.spec import MemSpec
 from repro.stats.counters import SimStats
 from repro.workloads.spec import (
     COMMITS_PER_THREAD,
@@ -60,7 +61,9 @@ __all__ = [
 #: v2: wrong-path synthesis cycles a pooled PC-wrap period (PR 2).
 #: v3: ``kind``/``bench``/``seg_instrs`` replaced by the declarative
 #:     ``workload`` (WorkloadSpec) field (PR 4).
-SPEC_VERSION = 3
+#: v4: the declarative ``mem`` (MemSpec) field joins the hashed payload;
+#:     the default hierarchy is bit-identical to v3 semantics (PR 5).
+SPEC_VERSION = 4
 
 #: ``scale_factor`` never returns less than this (tiny scales would
 #: shrink budgets below anything statistically meaningful — see
@@ -105,6 +108,14 @@ class RunSpec:
 
     workload: WorkloadSpec
     backend: str = "cycle"        # simulation engine (see engine/backends.py)
+    #: declarative memory hierarchy; ``None`` = the classic paper machine
+    #: built from the config scalars (see :mod:`repro.memory.spec`).
+    #: Identity is by *description*, same as ``workload``: the spec name
+    #: is part of the hash, so ``mem=None`` and an explicit ``classic``
+    #: preset are distinct cache entries even though they build the same
+    #: machine — the cache trades a rare duplicate run for never having
+    #: to prove two descriptions equivalent.
+    mem: MemSpec | None = None
     l2_latency: int = 16
     decoupled: bool = True
     scale_with_latency: bool = False   # section-2 resource scaling
@@ -128,6 +139,7 @@ class RunSpec:
         warmup: int | None = None,
         scale: float | None = None,
         backend: str = "cycle",
+        mem: MemSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """Any declarative workload — preset, file or hand-built — on a
@@ -136,6 +148,7 @@ class RunSpec:
         return cls(
             workload=workload,
             backend=backend,
+            mem=mem,
             l2_latency=l2_latency,
             decoupled=decoupled,
             scale_with_latency=scale_with_latency,
@@ -158,6 +171,7 @@ class RunSpec:
         seg_instrs: int = SEG_INSTRS,
         scale: float | None = None,
         backend: str = "cycle",
+        mem: MemSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-3 run: rotated SPEC FP95 mix on all contexts
@@ -171,6 +185,7 @@ class RunSpec:
             warmup=warmup_per_thread,
             scale=scale,
             backend=backend,
+            mem=mem,
             **config_overrides,
         )
 
@@ -186,6 +201,7 @@ class RunSpec:
         warmup: int | None = None,
         scale: float | None = None,
         backend: str = "cycle",
+        mem: MemSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-2 run: a single benchmark on one context (a
@@ -203,6 +219,7 @@ class RunSpec:
             warmup=warmup,
             scale=scale,
             backend=backend,
+            mem=mem,
             **config_overrides,
         )
 
@@ -214,6 +231,11 @@ class RunSpec:
             )
         if not self.backend or not isinstance(self.backend, str):
             raise ValueError("backend must be a non-empty string")
+        if self.mem is not None and not isinstance(self.mem, MemSpec):
+            raise ValueError(
+                f"mem must be a MemSpec or None, got "
+                f"{type(self.mem).__name__}"
+            )
 
     # -- identity ----------------------------------------------------------------
 
@@ -226,6 +248,7 @@ class RunSpec:
         return {
             "workload": self.workload.to_dict(),
             "backend": self.backend,
+            "mem": self.mem.to_dict() if self.mem is not None else None,
             "l2_latency": self.l2_latency,
             "decoupled": self.decoupled,
             "scale_with_latency": self.scale_with_latency,
@@ -241,6 +264,10 @@ class RunSpec:
         known = {f.name for f in fields(cls)}
         kw = {k: v for k, v in d.items() if k in known}
         kw["workload"] = WorkloadSpec.from_dict(d["workload"])
+        if d.get("mem") is not None:
+            kw["mem"] = MemSpec.from_dict(d["mem"])
+        else:
+            kw.pop("mem", None)
         kw["config_overrides"] = tuple(
             sorted((d.get("config_overrides") or {}).items())
         )
@@ -258,7 +285,8 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable description for logs and JSON output."""
         mode = "dec" if self.decoupled else "non-dec"
-        tail = "" if self.backend == "cycle" else f" [{self.backend}]"
+        tail = "" if self.mem is None else f" mem={self.mem.name}"
+        tail += "" if self.backend == "cycle" else f" [{self.backend}]"
         return f"{self.workload.label()} L2={self.l2_latency} {mode}{tail}"
 
     # -- execution ---------------------------------------------------------------
@@ -273,6 +301,7 @@ class RunSpec:
             decoupled=self.decoupled,
             l2_latency=self.l2_latency,
             scale_with_latency=self.scale_with_latency,
+            mem=self.mem,
             **dict(self.config_overrides),
         )
 

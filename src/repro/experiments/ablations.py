@@ -11,6 +11,13 @@ These quantify design choices the paper mentions but does not evaluate
   reproduction uses by default for large latencies (see DESIGN.md).
 * ``iq_depth`` — the instruction-queue depth that bounds AP/EP slip.
 * ``rob`` — sensitivity to the ROB size Figure 2 leaves unspecified.
+* ``l2_finite`` — the paper's infinite L2 vs finite shared capacities
+  (threads coupled through a shared cache; misses past the L2 pay the
+  backing-store latency).
+* ``prefetch`` — next-line and stream prefetching on the classic
+  machine: coverage vs the bus traffic the speculation costs.
+* ``bus_width`` — the L1-L2 interconnect width (and the contention-free
+  ``ideal`` policy), isolating how much IPC the shared bus eats.
 
 Like the figure drivers, each ablation describes its runs as specs,
 submits the batch to the engine once, and assembles its table from the
@@ -20,6 +27,14 @@ returned mapping; pass ``engine=`` for parallelism and caching.
 from __future__ import annotations
 
 from repro.engine import RunSpec, Sweep, submit
+from repro.memory.spec import (
+    KB,
+    MB,
+    InterconnectSpec,
+    LevelSpec,
+    MemSpec,
+    PrefetchSpec,
+)
 from repro.stats.report import format_table
 
 
@@ -144,10 +159,148 @@ def render_rob(data: dict) -> str:
     )
 
 
+def l2_finite(n_threads: int = 4, l2_latency: int = 32, seed: int = 0,
+              engine=None) -> dict:
+    """Finite shared L2 capacities vs the paper's infinite L2."""
+    def spec_for(capacity):
+        if capacity is None:
+            return RunSpec.multiprogrammed(
+                n_threads, l2_latency=l2_latency, seed=seed
+            )
+        mem = MemSpec(
+            name=f"l2={capacity // KB}K",
+            levels=(
+                LevelSpec(name="L1"),
+                LevelSpec(name="L2", capacity_bytes=capacity, assoc=8),
+            ),
+        )
+        return RunSpec.multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed, mem=mem
+        )
+
+    specs = {
+        cap: spec_for(cap)
+        for cap in (None, 4 * MB, MB, 256 * KB, 64 * KB)
+    }
+    results = submit(Sweep(specs.values()), engine)
+    return {
+        ("inf" if cap is None else cap // KB): {
+            "ipc": results[spec].ipc,
+            "l2_miss_rate": results[spec].level_miss_rate("L2"),
+            "bus_util": results[spec].bus_utilization,
+        }
+        for cap, spec in specs.items()
+    }
+
+
+def render_l2_finite(data: dict) -> str:
+    rows = [
+        [f"{cap}K" if cap != "inf" else "inf", r["ipc"],
+         r["l2_miss_rate"] * 100, r["bus_util"] * 100]
+        for cap, r in data.items()
+    ]
+    return format_table(
+        ["L2 capacity", "IPC", "L2 miss %", "bus util %"],
+        rows,
+        "Ablation: finite shared L2 (4 threads, L2 = 32)",
+    )
+
+
+def prefetch(n_threads: int = 2, l2_latency: int = 64, seed: int = 0,
+             engine=None) -> dict:
+    """Prefetch policy: coverage bought vs bus bandwidth spent."""
+    def mem_for(kind, degree):
+        if kind == "none":
+            return None
+        return MemSpec(
+            name=f"{kind}x{degree}",
+            prefetch=PrefetchSpec(kind=kind, degree=degree),
+        )
+
+    points = [("none", 0), ("nextline", 1), ("nextline", 2), ("stream", 2)]
+    specs = {
+        (kind, degree): RunSpec.multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed,
+            mem=mem_for(kind, degree),
+        )
+        for kind, degree in points
+    }
+    results = submit(Sweep(specs.values()), engine)
+    out = {}
+    for (kind, degree), spec in specs.items():
+        s = results[spec]
+        out[kind, degree] = {
+            "ipc": s.ipc,
+            "coverage": s.prefetch_coverage,
+            "prefetch_fills": s.prefetch_fills,
+            "load_miss_ratio": s.load_miss_ratio,
+            "bus_util": s.bus_utilization,
+        }
+    return out
+
+
+def render_prefetch(data: dict) -> str:
+    rows = [
+        [
+            kind if not degree else f"{kind} x{degree}",
+            r["ipc"], r["coverage"] * 100, r["prefetch_fills"],
+            r["load_miss_ratio"] * 100, r["bus_util"] * 100,
+        ]
+        for (kind, degree), r in data.items()
+    ]
+    return format_table(
+        ["prefetcher", "IPC", "coverage %", "pf fills", "ld miss %",
+         "bus util %"],
+        rows,
+        "Ablation: L1 prefetching (2 threads, L2 = 64)",
+    )
+
+
+def bus_width(n_threads: int = 4, l2_latency: int = 16, seed: int = 0,
+              engine=None) -> dict:
+    """Interconnect width (plus the contention-free ideal crossbar)."""
+    def spec_for(width, policy="fifo"):
+        mem = MemSpec(
+            name=f"bus{width}{'' if policy == 'fifo' else '-' + policy}",
+            interconnect=InterconnectSpec(
+                bytes_per_cycle=width, policy=policy
+            ),
+        )
+        return RunSpec.multiprogrammed(
+            n_threads, l2_latency=l2_latency, seed=seed, mem=mem
+        )
+
+    specs = {(w, "fifo"): spec_for(w) for w in (4, 8, 16, 32)}
+    specs[16, "ideal"] = spec_for(16, policy="ideal")
+    results = submit(Sweep(specs.values()), engine)
+    return {
+        key: {
+            "ipc": results[spec].ipc,
+            "bus_util": results[spec].bus_utilization,
+        }
+        for key, spec in specs.items()
+    }
+
+
+def render_bus_width(data: dict) -> str:
+    rows = [
+        [f"{w} B/cy ({policy})", r["ipc"], r["bus_util"] * 100]
+        for (w, policy), r in data.items()
+    ]
+    return format_table(
+        ["interconnect", "IPC", "bus util %"],
+        rows,
+        "Ablation: L1-L2 interconnect (4 threads, L2 = 16)",
+    )
+
+
 ABLATIONS = {
     "unit_width": (unit_width, render_unit_width),
     "fetch_policy": (fetch_policy, render_fetch_policy),
     "mshr": (mshr, render_mshr),
     "iq_depth": (iq_depth, render_iq_depth),
     "rob": (rob, render_rob),
+    "l2_finite": (l2_finite, render_l2_finite),
+    "prefetch": (prefetch, render_prefetch),
+    "bus_width": (bus_width, render_bus_width),
 }

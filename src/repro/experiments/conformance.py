@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 
 from repro.engine import RunSpec, Sweep, submit
+from repro.memory.spec import mem_preset
 
 #: gating tolerance: mean absolute relative IPC error over the grid
 TOLERANCE_IPC = 0.15
@@ -39,16 +40,33 @@ FULL_LATENCIES = (1, 16, 32, 64, 128, 256)
 QUICK_THREADS = (1, 4)
 QUICK_LATENCIES = (16, 64, 256)
 
+#: the finite-L2 extension: threads coupled through a shared finite
+#: cache (the non-classic hierarchy the model must track, not ignore)
+FINITE_THREADS = (1, 4)
+FINITE_LATENCIES = (16, 64, 256)
+QUICK_FINITE_LATENCIES = (64,)
+
 
 def conformance_grid(quick: bool = False, seed: int = 0) -> Sweep:
-    """The cycle-backend specs of the conformance grid."""
-    return Sweep.grid(
+    """The cycle-backend specs of the conformance grid: the paper's
+    Figure-4 cells plus finite-L2 cells exercising the composable
+    hierarchy on both backends."""
+    classic = Sweep.grid(
         RunSpec.multiprogrammed,
         decoupled=(True, False),
         n_threads=QUICK_THREADS if quick else FULL_THREADS,
         l2_latency=QUICK_LATENCIES if quick else FULL_LATENCIES,
         seed=seed,
     )
+    finite = Sweep.grid(
+        RunSpec.multiprogrammed,
+        decoupled=(True,) if quick else (True, False),
+        n_threads=FINITE_THREADS,
+        l2_latency=QUICK_FINITE_LATENCIES if quick else FINITE_LATENCIES,
+        mem=mem_preset("l2_finite"),
+        seed=seed,
+    )
+    return classic + finite
 
 
 def _timing_sweep(n: int, seed: int) -> list[RunSpec]:

@@ -53,6 +53,7 @@ import time
 
 from repro.engine.spec import RunSpec
 from repro.stats.counters import SimStats
+from repro.workloads.spec import workload_preset
 
 SCHEMA = "repro-perf/1"
 
@@ -92,6 +93,14 @@ def perf_specs(quick: bool = False) -> dict[str, RunSpec]:
         "fig4_2T_L2=128_nondec": RunSpec.multiprogrammed(
             2, l2_latency=128, decoupled=False, scale=1.0,
             commits_per_thread=s(15_000), warmup_per_thread=s(8_000),
+        ),
+        # memory-bound regime (PR 5): four thrashing threads hammer the
+        # composed hierarchy — the miss path, MSHR churn and bus
+        # scheduling dominate, so facade-layer regressions show up here
+        # first
+        "mem_thrash4_L2=64": RunSpec.from_workload(
+            workload_preset("thrash4"), l2_latency=64, scale=1.0,
+            commits=s(10_000), warmup=s(4_000),
         ),
     }
 

@@ -1,7 +1,6 @@
-"""Memory hierarchy: L1 D-cache, MSHRs, L1-L2 bus and L2 models."""
+"""Memory hierarchy: declarative :class:`MemSpec` level stacks composed
+into the runtime facade (levels + MSHRs + interconnect + prefetcher)."""
 
-from repro.memory.bus import Bus
-from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
 from repro.memory.hierarchy import (
     S_BLOCKED,
     S_HIT,
@@ -9,21 +8,62 @@ from repro.memory.hierarchy import (
     S_SECONDARY,
     MemorySystem,
 )
-from repro.memory.l2 import InfiniteL2
-from repro.memory.mshr import MSHRFile
+from repro.memory.interconnect import Bus, IdealInterconnect
+from repro.memory.levels import (
+    CONFLICT,
+    HIT,
+    MISS,
+    SECONDARY,
+    CacheLevel,
+    InfiniteLevel,
+    L1Cache,
+    MSHRFile,
+)
+from repro.memory.prefetch import (
+    NextLinePrefetcher,
+    Prefetcher,
+    StreamPrefetcher,
+)
+from repro.memory.spec import (
+    AUTO,
+    InterconnectSpec,
+    LevelSpec,
+    MemSpec,
+    PrefetchSpec,
+    load_memspec,
+    mem_preset,
+    mem_preset_names,
+    register_mem_preset,
+    resolve_memspec,
+)
 
 __all__ = [
+    "AUTO",
     "Bus",
-    "MSHRFile",
-    "L1Cache",
-    "InfiniteL2",
-    "MemorySystem",
-    "HIT",
-    "MISS",
-    "SECONDARY",
+    "CacheLevel",
     "CONFLICT",
+    "HIT",
+    "IdealInterconnect",
+    "InfiniteLevel",
+    "InterconnectSpec",
+    "L1Cache",
+    "LevelSpec",
+    "load_memspec",
+    "mem_preset",
+    "mem_preset_names",
+    "MemSpec",
+    "MemorySystem",
+    "MISS",
+    "MSHRFile",
+    "NextLinePrefetcher",
+    "Prefetcher",
+    "PrefetchSpec",
+    "register_mem_preset",
+    "resolve_memspec",
+    "S_BLOCKED",
     "S_HIT",
     "S_MISS",
     "S_SECONDARY",
-    "S_BLOCKED",
+    "SECONDARY",
+    "StreamPrefetcher",
 ]

@@ -1,26 +1,48 @@
 """The memory-system facade used by the pipeline.
 
-Combines the L1 data cache, the MSHR file, the L1-L2 bus and the L2 into the
-three operations the core needs:
+Composes the level stack, MSHR files, interconnect and prefetcher a
+resolved :class:`~repro.memory.spec.MemSpec` describes into the three
+operations the core needs:
 
-* ``load(addr, now)``  — a data-cache read access,
-* ``store(addr, now)`` — a data-cache write access (performed by the store
-  drain after graduation; write-back, write-allocate),
-* per-cycle port arbitration (4 shared read/write ports).
+* ``load(addr, now, tid)``  — a data-cache read access,
+* ``store(addr, now, tid)`` — a data-cache write access (performed by the
+  store drain after graduation; write-back, write-allocate),
+* per-cycle port arbitration (level-0 ports, shared by all threads).
 
-Timing model of a primary miss: the request leaves at ``now``, the line is
-ready to leave the L2 at ``now + l2_latency`` and then occupies the bus for
+Timing model of a primary miss: the request leaves at ``now`` and walks
+the outer levels in order, accumulating each visited level's hit latency;
+the first level that holds the line serves it (plus any bank-queueing
+delay there), a miss past the last level pays ``memory_latency`` more.
+The line is then ready to transfer and occupies the interconnect for
 ``line_bytes / bus_bytes_per_cycle`` cycles behind earlier transfers; the
 fill (and every merged secondary miss) completes when the transfer ends.
-Dirty victims schedule a write-back transfer on the same bus.
+Dirty L1 victims schedule a write-back transfer on the same interconnect
+and land in the first outer level; fills install into every finite level
+they passed through (inclusive hierarchy). With the default spec this
+reduces exactly to the seed-era hardwired machine: one probe of an
+infinite L2 at ``l2_latency``, one bus transfer, bit-identical timing.
+
+Structural refusals (``S_BLOCKED``) are decided *before* any state
+changes: level-0 MSHR exhaustion, a pinned L1 set, or an outer level's
+own MSHR file being full all leave the machine untouched so the requester
+can retry next cycle.
 """
 
 from __future__ import annotations
 
-from repro.memory.bus import Bus
-from repro.memory.cache import CONFLICT, HIT, SECONDARY, L1Cache
-from repro.memory.l2 import InfiniteL2
-from repro.memory.mshr import MSHRFile
+from repro.memory.interconnect import build_interconnect
+from repro.memory.levels import (
+    CONFLICT,
+    HIT,
+    MISS,
+    SECONDARY,
+    CacheLevel,
+    InfiniteLevel,
+    L1Cache,
+    MSHRFile,
+)
+from repro.memory.prefetch import build_prefetcher
+from repro.memory.spec import MemSpec
 
 # Status values returned to the core.
 S_HIT = 0
@@ -29,11 +51,99 @@ S_SECONDARY = 2   # merged miss; ready_cycle = fill completion
 S_BLOCKED = 3     # structural: no MSHR, or target set pinned by a fill
 
 
-class MemorySystem:
-    """L1 + MSHRs + bus + L2, with port arbitration and traffic stats."""
+class _OuterLevel:
+    """Runtime state of one outer level: tag store + MSHRs + banks."""
 
-    def __init__(
-        self,
+    __slots__ = (
+        "name", "store", "mshrs", "hit_latency", "banks", "bank_free",
+        "hits", "misses", "writebacks",
+    )
+
+    def __init__(self, spec, line_bytes: int, n_threads: int):
+        self.name = spec.name
+        if spec.capacity_bytes is None:
+            self.store = InfiniteLevel()
+        else:
+            self.store = CacheLevel(
+                spec.capacity_bytes,
+                line_bytes,
+                assoc=spec.assoc,
+                partitions=1 if spec.shared else n_threads,
+            )
+        self.mshrs = MSHRFile(spec.mshrs)
+        self.hit_latency = spec.hit_latency
+        self.banks = spec.banks
+        self.bank_free = [0] * spec.banks if spec.banks else None
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def bank_delay(self, line: int, now: int) -> int:
+        """Eager FIFO bank arbitration: one access per bank per cycle
+        (``banks == 0`` models the paper's conflict-free multibanking)."""
+        if not self.banks:
+            return 0
+        b = line % self.banks
+        start = self.bank_free[b]
+        if start < now:
+            start = now
+        self.bank_free[b] = start + 1
+        return start - now
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.mshrs.alloc_failures = 0
+
+
+class MemorySystem:
+    """Level stack + MSHRs + interconnect + prefetcher, with port
+    arbitration and traffic stats, composed from a :class:`MemSpec`."""
+
+    def __init__(self, spec: MemSpec, n_threads: int = 1,
+                 line_bytes: int = 32):
+        if not spec.resolved:
+            raise ValueError(
+                "MemorySystem needs a resolved MemSpec "
+                "(call spec.resolve(cfg) first)"
+            )
+        spec.validate_resolved()
+        self.spec = spec
+        self.line_bytes = line_bytes
+        self.n_threads = n_threads
+        l0 = spec.levels[0]
+        if not l0.shared and n_threads > 1:
+            self._l1s = [
+                L1Cache(l0.capacity_bytes // n_threads, line_bytes)
+                for _ in range(n_threads)
+            ]
+        else:
+            self._l1s = [L1Cache(l0.capacity_bytes, line_bytes)]
+        self.l1 = self._l1s[0]
+        self._line_shift = line_bytes.bit_length() - 1
+        self.mshrs = MSHRFile(l0.mshrs)
+        self.bus = build_interconnect(spec.interconnect, line_bytes)
+        self.outer = [
+            _OuterLevel(lvl, line_bytes, n_threads)
+            for lvl in spec.levels[1:]
+        ]
+        self.memory_latency = spec.memory_latency
+        self.prefetcher = build_prefetcher(spec.prefetch)
+        self.ports = l0.ports
+        self.hit_latency = l0.hit_latency
+        self._ports_used = 0
+        # traffic counters (reset together with pipeline stats)
+        self.fills = 0
+        self.writebacks = 0
+        self.blocked_requests = 0
+        self.prefetch_fills = 0
+        self.prefetch_hits = 0
+        self.prefetch_dropped = 0
+
+    @classmethod
+    def classic(
+        cls,
         l1_bytes: int = 64 * 1024,
         line_bytes: int = 32,
         l1_ports: int = 4,
@@ -41,18 +151,33 @@ class MemorySystem:
         l2_latency: int = 16,
         bus_bytes_per_cycle: int = 16,
         l1_hit_latency: int = 1,
-    ):
-        self.l1 = L1Cache(l1_bytes, line_bytes)
-        self.mshrs = MSHRFile(mshrs)
-        self.bus = Bus(bus_bytes_per_cycle, line_bytes)
-        self.l2 = InfiniteL2(l2_latency)
-        self.ports = l1_ports
-        self.hit_latency = l1_hit_latency
-        self._ports_used = 0
-        # traffic counters (reset together with pipeline stats)
-        self.fills = 0
-        self.writebacks = 0
-        self.blocked_requests = 0
+        n_threads: int = 1,
+    ) -> "MemorySystem":
+        """The seed-era hardwired machine, from its original scalars."""
+        from repro.core.config import MachineConfig
+
+        cfg = MachineConfig(
+            n_threads=n_threads,
+            l1_bytes=l1_bytes,
+            line_bytes=line_bytes,
+            l1_ports=l1_ports,
+            l1_hit_latency=l1_hit_latency,
+            mshrs=mshrs,
+            l2_latency=l2_latency,
+            bus_bytes_per_cycle=bus_bytes_per_cycle,
+        )
+        return cls(MemSpec().resolve(cfg), n_threads=n_threads,
+                   line_bytes=line_bytes)
+
+    # -- fast-forward eligibility ---------------------------------------------
+
+    @property
+    def fast_forward_safe(self) -> bool:
+        """False when the prefetcher needs a per-cycle clock, in which
+        case the processor must not skip idle cycles (the built-in
+        miss-triggered prefetchers mutate state only inside demand
+        accesses and stay eligible)."""
+        return not self.prefetcher.tick_driven
 
     # -- per-cycle arbitration -------------------------------------------------
 
@@ -66,62 +191,173 @@ class MemorySystem:
     def claim_port(self) -> None:
         self._ports_used += 1
 
-    # -- accesses ---------------------------------------------------------------
+    # -- the miss path ----------------------------------------------------------
 
-    def _start_fill(self, addr: int, now: int, make_dirty: bool) -> int:
-        """Allocate MSHR + bus for a primary miss; returns the fill cycle."""
-        ready_at_l2 = self.l2.access(now)
-        fill_cycle = self.bus.schedule_line(ready_at_l2)
+    def _l1_for(self, tid: int) -> L1Cache:
+        l1s = self._l1s
+        return l1s[tid % len(l1s)] if len(l1s) > 1 else l1s[0]
+
+    def _plan_outer(self, line: int, tid: int):
+        """Walk the outer levels without mutating anything.
+
+        Returns ``(latency, serving, missed)``: the accumulated hit
+        latency up to (and including) the serving level — plus
+        ``memory_latency`` when everything missed — the serving
+        :class:`_OuterLevel` (or ``None`` for memory), and the list of
+        levels that missed (they need an MSHR and receive the fill).
+        """
+        lat = 0
+        missed = []
+        for lvl in self.outer:
+            lat += lvl.hit_latency
+            if lvl.store.peek(line, tid):
+                return lat, lvl, missed
+            missed.append(lvl)
+        return lat + self.memory_latency, None, missed
+
+    def _commit_fill(
+        self,
+        l1: L1Cache,
+        addr: int,
+        now: int,
+        tid: int,
+        make_dirty: bool,
+        plan,
+        prefetched: bool,
+    ) -> int:
+        """Commit a planned fill; returns the fill-completion cycle."""
+        lat, serving, missed = plan
+        line = self._line_of_addr(addr)
+        ready = now + lat
+        if serving is not None:
+            if not prefetched:      # per-level stats track the demand
+                serving.hits += 1   # fill stream (walk-comparable)
+            serving.store.touch(line, tid)
+            ready += serving.bank_delay(line, now)
+        for lvl in missed:
+            if not prefetched:
+                lvl.misses += 1
+            lvl.mshrs.allocate(ready)
+        fill_cycle = self.bus.schedule_line(ready)
         self.mshrs.allocate(fill_cycle)
-        victim_dirty = self.l1.install(addr, now, fill_cycle, make_dirty)
+        victim, victim_dirty = l1.install(
+            addr, now, fill_cycle, make_dirty, prefetched=prefetched
+        )
         if victim_dirty:
             self.bus.schedule_line(now)
             self.writebacks += 1
-        self.fills += 1
+            if self.outer:
+                if self.outer[0].store.install(victim, tid, dirty=True):
+                    self.outer[0].writebacks += 1
+        # inclusive fill path: the line lands in every level it missed
+        for lvl in missed:
+            if lvl.store.install(line, tid, dirty=False):
+                lvl.writebacks += 1
+        if prefetched:
+            self.prefetch_fills += 1
+        else:
+            self.fills += 1
+            self.prefetcher.on_demand_fill(self, line, now, tid)
         return fill_cycle
 
-    def load(self, addr: int, now: int) -> tuple[int, int]:
-        """Perform a read access. Returns ``(status, data_ready_cycle)``.
+    def _line_of_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
 
-        The caller must have claimed a port. ``S_BLOCKED`` means the access
-        could not even start (retry next cycle; no state was changed).
+    def try_prefetch(self, line: int, now: int, tid: int) -> bool:
+        """Attempt one prefetch fill of ``line`` (called by prefetchers).
+
+        Never blocking: a prefetch is simply *dropped* (counted) when it
+        is structurally refused — pinned L1 set, or any needed MSHR busy
+        — and silently skipped when the line is already present or in
+        flight (nothing left to prefetch).
         """
-        outcome, _idx, when = self.l1.probe(addr, now)
-        if outcome == HIT:
-            return S_HIT, now + self.hit_latency
-        if outcome == SECONDARY:
-            return S_SECONDARY, when
+        addr = line << self._line_shift
+        l1 = self._l1_for(tid)
+        outcome, _idx, _when = l1.probe(addr, now)
         if outcome == CONFLICT:
-            self.blocked_requests += 1
-            return S_BLOCKED, when
+            self.prefetch_dropped += 1
+            return False
+        if outcome != MISS:
+            return False
+        if not self.mshrs.available(now):
+            self.prefetch_dropped += 1
+            return False
+        plan = self._plan_outer(line, tid)
+        if any(not lvl.mshrs.available(now) for lvl in plan[2]):
+            self.prefetch_dropped += 1
+            return False
+        self._commit_fill(l1, addr, now, tid, False, plan, prefetched=True)
+        return True
+
+    # -- accesses ---------------------------------------------------------------
+
+    def _note_prefetch_hit(self, l1: L1Cache, idx: int) -> None:
+        if l1.prefetched[idx]:
+            self.prefetch_hits += 1
+            l1.prefetched[idx] = 0
+
+    def _demand_miss(
+        self, l1: L1Cache, addr: int, now: int, tid: int, make_dirty: bool
+    ) -> tuple[int, int]:
+        """The shared miss-path tail of :meth:`load` and :meth:`store`:
+        check every MSHR file the fill needs (refuse without touching
+        anything), then commit."""
         if not self.mshrs.available(now):
             self.mshrs.note_failure()
             self.blocked_requests += 1
             return S_BLOCKED, 0
-        return S_MISS, self._start_fill(addr, now, make_dirty=False)
+        plan = self._plan_outer(self._line_of_addr(addr), tid)
+        blocked = [lvl for lvl in plan[2] if not lvl.mshrs.available(now)]
+        if blocked:
+            blocked[0].mshrs.note_failure()
+            self.blocked_requests += 1
+            return S_BLOCKED, 0
+        fill = self._commit_fill(
+            l1, addr, now, tid, make_dirty, plan, prefetched=False
+        )
+        return S_MISS, fill
 
-    def store(self, addr: int, now: int) -> tuple[int, int]:
+    def load(self, addr: int, now: int, tid: int = 0) -> tuple[int, int]:
+        """Perform a read access. Returns ``(status, data_ready_cycle)``.
+
+        The caller must have claimed a port. ``S_BLOCKED`` means the
+        access could not even start (retry next cycle; no state was
+        changed).
+        """
+        l1 = self._l1_for(tid)
+        outcome, idx, when = l1.probe(addr, now)
+        if outcome == HIT:
+            self._note_prefetch_hit(l1, idx)
+            return S_HIT, now + self.hit_latency
+        if outcome == SECONDARY:
+            self._note_prefetch_hit(l1, idx)
+            return S_SECONDARY, when
+        if outcome == CONFLICT:
+            self.blocked_requests += 1
+            return S_BLOCKED, when
+        return self._demand_miss(l1, addr, now, tid, make_dirty=False)
+
+    def store(self, addr: int, now: int, tid: int = 0) -> tuple[int, int]:
         """Perform a write access (write-back, write-allocate).
 
-        Returns ``(status, write_done_cycle)``; on a miss the write completes
-        with the fill, at which point the line is dirty.
+        Returns ``(status, write_done_cycle)``; on a miss the write
+        completes with the fill, at which point the line is dirty.
         """
-        outcome, _idx, when = self.l1.probe(addr, now)
+        l1 = self._l1_for(tid)
+        outcome, idx, when = l1.probe(addr, now)
         if outcome == HIT:
-            self.l1.touch_write(addr)
+            self._note_prefetch_hit(l1, idx)
+            l1.touch_write(addr)
             return S_HIT, now + self.hit_latency
         if outcome == SECONDARY:
             # the write merges with the in-flight fill and dirties the line
-            self.l1.touch_write(addr)
+            self._note_prefetch_hit(l1, idx)
+            l1.touch_write(addr)
             return S_SECONDARY, when
         if outcome == CONFLICT:
             self.blocked_requests += 1
             return S_BLOCKED, when
-        if not self.mshrs.available(now):
-            self.mshrs.note_failure()
-            self.blocked_requests += 1
-            return S_BLOCKED, 0
-        return S_MISS, self._start_fill(addr, now, make_dirty=True)
+        return self._demand_miss(l1, addr, now, tid, make_dirty=True)
 
     # -- stats -------------------------------------------------------------------
 
@@ -129,7 +365,33 @@ class MemorySystem:
         self.fills = 0
         self.writebacks = 0
         self.blocked_requests = 0
+        self.prefetch_fills = 0
+        self.prefetch_hits = 0
+        self.prefetch_dropped = 0
+        # MSHR refusals reset with the other traffic counters so every
+        # reported number describes the same (post-warm-up) window —
+        # including the L1 prefetched flags, whose measured hits must
+        # pair with measured fills (coverage can never exceed 100%)
+        self.mshrs.alloc_failures = 0
+        for l1 in self._l1s:
+            l1.prefetched = bytearray(l1.n_sets)
+        for lvl in self.outer:
+            lvl.reset_stats()
         self.bus.reset_stats()
 
     def bus_utilization(self, elapsed_cycles: int) -> float:
         return self.bus.utilization(elapsed_cycles)
+
+    def level_stats(self) -> dict[str, dict[str, int]]:
+        """Per-outer-level traffic of the demand fill stream (JSON-safe):
+        ``{name: {hits, misses, writebacks, mshr_failures}}`` in stack
+        order — nothing stays trapped on the facade."""
+        return {
+            lvl.name: {
+                "hits": lvl.hits,
+                "misses": lvl.misses,
+                "writebacks": lvl.writebacks,
+                "mshr_failures": lvl.mshrs.alloc_failures,
+            }
+            for lvl in self.outer
+        }

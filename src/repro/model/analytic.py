@@ -165,9 +165,28 @@ def solve(spec, cfg, char: WorkloadCharacter) -> AnalyticSolution:
     phi = phi_fp + phi_int + phi_st
     fills = char.fills_fp + char.fills_int + char.fills_st
     wb_ratio = char.writebacks / max(1, fills)
+    #: prefetch fills per instruction: pure interconnect traffic (their
+    #: latency is hidden by definition; their *usefulness* already shows
+    #: up as reduced demand fills and short-age reuse entries)
+    pf = char.prefetch_fills / n
 
-    B = cfg.line_bytes / cfg.bus_bytes_per_cycle
-    L2 = cfg.l2_latency
+    ms = cfg.memory()
+    fifo_bus = ms.interconnect.policy == "fifo"
+    # whole cycles per line transfer, mirroring Bus.cycles_per_line —
+    # a fractional B would under-price occupancy for widths that do not
+    # divide (or exceed) the line size
+    B = float(max(1, -(-cfg.line_bytes // ms.interconnect.bytes_per_cycle)))
+    # expected fill-service latency through the level stack: every fill
+    # pays the levels it visits (walk-measured reach fractions), a miss
+    # past the last level pays the backing-store latency — the classic
+    # infinite L2 reduces to exactly cfg.l2_latency
+    L2 = 0.0
+    reach = float(fills)
+    for k, lvl in enumerate(ms.levels[1:]):
+        L2 += lvl.hit_latency * (reach / fills if fills else 1.0)
+        reach = float(char.outer_misses[k]) if k < len(char.outer_misses) else 0.0
+    L2 += ms.memory_latency * (reach / fills if fills else 0.0)
+    l0 = ms.levels[0]
     kappa = CAL["KAPPA_DEC"] if cfg.decoupled else CAL["KAPPA_ND"]
     # exposed-stall fraction: one stall per load-fill cluster
     einv = char.load_fill_clusters / max(1, char.fills_fp + char.fills_int)
@@ -200,16 +219,19 @@ def solve(spec, cfg, char: WorkloadCharacter) -> AnalyticSolution:
 
     # hard throughput caps independent of the fixed point
     fetch_rate = min(T, cfg.fetch_threads) * cfg.fetch_width
+    #: interconnect lines per instruction: demand fills + write-backs +
+    #: prefetch fills all occupy the shared bus
+    traffic = phi * (1.0 + wb_ratio) + pf
     caps = [
         cfg.ap_width / max(f_ap, _EPS),
         cfg.ep_width / max(f_ep, _EPS),
         float(cfg.dispatch_width),
-        cfg.l1_ports / max(f_mem, _EPS),
+        l0.ports / max(f_mem, _EPS),
         float(fetch_rate),
         float(cfg.commit_width * T),
     ]
-    if phi > 0:
-        caps.append(1.0 / (B * phi * (1.0 + wb_ratio)))
+    if traffic > 0 and fifo_bus:
+        caps.append(1.0 / (B * traffic))
     x = min(float(T), min(caps))
 
     sol = AnalyticSolution()
@@ -218,9 +240,8 @@ def solve(spec, cfg, char: WorkloadCharacter) -> AnalyticSolution:
         cpi_t = 1.0 / max(x_t, _EPS)
 
         # -- miss round trip under bus + MSHR contention -------------------
-        lam_fill = x * phi
-        rho = min(0.98, lam_fill * (1.0 + wb_ratio) * B)
-        wq = rho * B / (2.0 * max(1.0 - rho, 0.02))
+        rho = min(0.98, x * traffic * B)
+        wq = rho * B / (2.0 * max(1.0 - rho, 0.02)) if fifo_bus else 0.0
         l_miss = CAL["C_MISS_FIXED"] + L2 + B + wq
 
         # -- run-ahead hiding ----------------------------------------------
@@ -270,8 +291,8 @@ def solve(spec, cfg, char: WorkloadCharacter) -> AnalyticSolution:
 
         # shared-resource ceilings (bus and MSHR by Little's law)
         x_new = min(x_new, *caps)
-        if phi > 0:
-            x_new = min(x_new, cfg.mshrs / (l_miss * phi))
+        if phi > 0 and l0.mshrs is not None:
+            x_new = min(x_new, l0.mshrs / (l_miss * phi))
 
         if abs(x_new - x) < _TOL:
             x = x_new
@@ -280,7 +301,7 @@ def solve(spec, cfg, char: WorkloadCharacter) -> AnalyticSolution:
 
     sol.ipc = x
     sol.l_miss = l_miss
-    sol.rho = min(1.0, x * phi * (1.0 + wb_ratio) * B)
+    sol.rho = min(1.0, x * traffic * B)
     # the perceived-latency statistic averages consumer stall cycles over
     # all misses (primary + merged), which is exactly stall / miss-rate
     sol.perceived_fp = stall_fp / max(phi_fp + merged_fp, _EPS)
@@ -345,6 +366,22 @@ def _synthesize_stats(spec, cfg, char: WorkloadCharacter,
     stats.line_fills = char.fills_fp + char.fills_int + char.fills_st
     stats.writebacks = char.writebacks
     stats.mshr_alloc_failures = 0
+    stats.level_stats = {
+        lvl.name: {
+            "hits": char.outer_hits[k] if k < len(char.outer_hits) else 0,
+            "misses": (
+                char.outer_misses[k] if k < len(char.outer_misses) else 0
+            ),
+            "writebacks": (
+                char.outer_writebacks[k]
+                if k < len(char.outer_writebacks) else 0
+            ),
+            "mshr_failures": 0,
+        }
+        for k, lvl in enumerate(cfg.memory().levels[1:])
+    }
+    stats.prefetch_fills = char.prefetch_fills
+    stats.prefetch_hits = char.prefetch_hits
 
     # -- issue-slot breakdown, exactly conserved ---------------------------
     useful_ap = (char.ialu + char.loads_fp + char.loads_int + char.stores

@@ -39,7 +39,8 @@ from repro.core.config import MachineConfig
 from repro.core.context import region_salts
 from repro.core.predictor import BimodalBHT
 from repro.isa.opclass import OpClass
-from repro.memory.cache import HIT, L1Cache
+from repro.memory.levels import HIT, CacheLevel, InfiniteLevel, L1Cache
+from repro.memory.prefetch import build_prefetcher
 from repro.workloads.profiles import BenchProfile
 from repro.workloads.spec import WorkloadSpec
 
@@ -90,6 +91,17 @@ class WorkloadCharacter:
     fills_int: int
     fills_st: int
     writebacks: int             # dirty victims evicted by measured fills
+    #: per outer level (stack order): demand fills served there / missed
+    #: there — the finite-L2 miss stream the solver turns into an
+    #: expected fill-service latency
+    outer_hits: tuple[int, ...]
+    outer_misses: tuple[int, ...]
+    outer_writebacks: tuple[int, ...]
+    #: prefetch fills issued (bus traffic) and the demand accesses they
+    #: covered; coverage also shows up as *reduced* ``fills_*`` and as
+    #: short-age reuse-histogram entries (-> merged misses at solve time)
+    prefetch_fills: int
+    prefetch_hits: int
     #: load-fill *clusters*: consecutive load fills of one thread within
     #: CLUSTER_GAP instructions overlap their latencies (the loads issue
     #: back-to-back before the first consumer can block), so only one
@@ -132,10 +144,11 @@ def character_key(spec, cfg: MachineConfig) -> tuple:
 
     Keyed on the workload itself — :class:`WorkloadSpec` is frozen and
     hashes by content, so two specs with identical workloads share a
-    walk no matter how they were built. Deliberately excludes latencies,
-    queue depths, widths and the decoupling mode: the walk is
-    timing-free, so all points of a latency x mode sweep share one
-    characterization.
+    walk no matter how they were built. The memory hierarchy enters as
+    its :meth:`~repro.memory.spec.MemSpec.geometry` (capacities,
+    associativity, sharing, prefetch policy — every *timing* field
+    normalized away), so the walk stays latency-free and all points of a
+    latency x mode x bus-width sweep share one characterization.
     """
     commits, warmup = spec.budgets()
     n_threads = spec.workload.n_threads
@@ -144,7 +157,7 @@ def character_key(spec, cfg: MachineConfig) -> tuple:
         spec.seed,
         commits // n_threads,
         warmup // n_threads,
-        cfg.l1_bytes,
+        cfg.memory().geometry(),
         cfg.line_bytes,
         cfg.bht_entries,
         cfg.salt_stream_bytes,
@@ -158,11 +171,27 @@ def characterize(spec, cfg: MachineConfig) -> WorkloadCharacter:
     return _characterize(character_key(spec, cfg))
 
 
+class _WalkPrefetchPort:
+    """Adapter letting the *runtime* prefetcher policies drive the
+    timing-free walk: ``try_prefetch`` installs the line immediately
+    (fills are instantaneous in a timing-free world). Reusing
+    :func:`~repro.memory.prefetch.build_prefetcher` keeps the walk's
+    prefetch decisions in lockstep with the cycle machine's."""
+
+    __slots__ = ("fill",)
+
+    def __init__(self, fill):
+        self.fill = fill
+
+    def try_prefetch(self, line: int, now: int, tid: int) -> bool:
+        return self.fill(line, tid)
+
+
 @lru_cache(maxsize=128)
 def _characterize(key: tuple) -> WorkloadCharacter:
     (
         workload, seed, meas_pt, warm_pt,
-        l1_bytes, line_bytes, bht_entries,
+        geometry, line_bytes, bht_entries,
         salt_stream, salt_store, salt_hot,
     ) = key
     assert isinstance(workload, WorkloadSpec)
@@ -170,10 +199,31 @@ def _characterize(key: tuple) -> WorkloadCharacter:
     playlists = workload.playlists(seed=seed)
     profiles = workload.profiles()
 
-    l1 = L1Cache(l1_bytes, line_bytes)
-    n_sets = l1.n_sets
-    # per-set install bookkeeping for reuse ages
-    install_tick = [0] * n_sets
+    # -- the memory geometry (capacities/sharing only; walk is timing-free)
+    l0 = geometry.levels[0]
+    if l0.shared or n_threads == 1:
+        l1s = [L1Cache(l0.capacity_bytes, line_bytes)]
+    else:
+        l1s = [
+            L1Cache(l0.capacity_bytes // n_threads, line_bytes)
+            for _ in range(n_threads)
+        ]
+    line_shift = line_bytes.bit_length() - 1
+    # per-L1-slice, per-set install bookkeeping for reuse ages
+    install_tick = [[0] * l1.n_sets for l1 in l1s]
+    outer = [
+        InfiniteLevel()
+        if lvl.capacity_bytes is None
+        else CacheLevel(
+            lvl.capacity_bytes, line_bytes, assoc=lvl.assoc,
+            partitions=1 if lvl.shared else n_threads,
+        )
+        for lvl in geometry.levels[1:]
+    ]
+    n_outer = len(outer)
+    outer_hits = [0] * n_outer
+    outer_misses = [0] * n_outer
+    outer_wb = [0] * n_outer
 
     # per-thread walk state (salting shared with the cycle backend's
     # ThreadContext via core.context.region_salts)
@@ -195,19 +245,73 @@ def _characterize(key: tuple) -> WorkloadCharacter:
         ialu=0, falu=0, loads_fp=0, loads_int=0, stores=0,
         branches=0, mispredicts=0, itof=0, ftoi=0,
         fills_fp=0, fills_int=0, fills_st=0, writebacks=0,
-        load_fill_clusters=0,
+        load_fill_clusters=0, prefetch_fills=0, prefetch_hits=0,
     )
     last_load_fill = [-(10 * CLUSTER_GAP)] * n_threads
     reuse = [[0] * N_AGE_BUCKETS for _ in range(3)]
     bench_weight: dict[str, int] = {}
+    measuring = False
+
+    def outer_fill(line: int, t: int, l1, addr: int, dirty: bool,
+                   prefetched: bool, count: bool) -> bool:
+        """Mirror the facade's fill path exactly: plan (pure peeks),
+        touch the serving level, install into the L1 (evicting the
+        victim into the first outer level when dirty), then land the
+        line in every missed level. Returns whether the L1 victim was
+        dirty (a write-back in the cycle machine)."""
+        serving = None
+        missed = []
+        for k in range(n_outer):
+            if outer[k].peek(line, t):
+                serving = k
+                break
+            missed.append(k)
+        if serving is not None:
+            outer[serving].touch(line, t)
+            if count:
+                outer_hits[serving] += 1
+        if count:
+            for k in missed:
+                outer_misses[k] += 1
+        victim, victim_dirty = l1.install(
+            addr, 0, 0, make_dirty=dirty, prefetched=prefetched
+        )
+        if victim_dirty and n_outer:
+            if outer[0].install(victim, t, dirty=True) and measuring:
+                outer_wb[0] += 1
+        for k in missed:
+            if outer[k].install(line, t, dirty=False) and measuring:
+                outer_wb[k] += 1
+        return victim_dirty
+
+    def prefetch_fill(line: int, t: int) -> bool:
+        bank = t % len(l1s)
+        l1 = l1s[bank]
+        addr = line << line_shift
+        outcome, idx, _when = l1.probe(addr, 0)
+        if outcome == HIT:
+            return False
+        victim_dirty = outer_fill(
+            line, t, l1, addr, dirty=False, prefetched=True, count=False
+        )
+        install_tick[bank][idx] = ticks[t]
+        if measuring:
+            counts["prefetch_fills"] += 1
+            if victim_dirty:
+                counts["writebacks"] += 1
+        return True
+
+    prefetcher = build_prefetcher(geometry.prefetch)
+    pf_port = _WalkPrefetchPort(prefetch_fill)
 
     budget = warm_pt + meas_pt
-    probe = l1.probe
-    install = l1.install
-    touch_write = l1.touch_write
-
     for step in range(budget):
         measuring = step >= warm_pt
+        if step == warm_pt:
+            # mirror the facade's warm-up stats reset: stale prefetched
+            # flags must not pair measured hits with unmeasured fills
+            for l1 in l1s:
+                l1.prefetched = bytearray(l1.n_sets)
         for t in range(n_threads):
             pl = playlists[t]
             trace = pl[play_idx[t]]
@@ -259,16 +363,27 @@ def _characterize(key: tuple) -> WorkloadCharacter:
                 cls = CLS_LOAD_INT
                 if measuring:
                     counts["loads_int"] += 1
-            outcome, idx, _when = probe(addr, 0)
+            bank = t % len(l1s)
+            l1 = l1s[bank]
+            outcome, idx, _when = l1.probe(addr, 0)
             if outcome == HIT:
+                if l1.prefetched[idx]:
+                    l1.prefetched[idx] = 0
+                    if measuring:
+                        counts["prefetch_hits"] += 1
                 if is_store:
-                    touch_write(addr)
+                    l1.touch_write(addr)
                 if measuring:
-                    age = ticks[t] - install_tick[idx]
+                    age = ticks[t] - install_tick[bank][idx]
                     reuse[cls][min(age.bit_length(), N_AGE_BUCKETS - 1)] += 1
             else:
-                victim_dirty = install(addr, 0, 0, make_dirty=is_store)
-                install_tick[idx] = ticks[t]
+                line = addr >> line_shift
+                victim_dirty = outer_fill(
+                    line, t, l1, addr, dirty=is_store,
+                    prefetched=False, count=measuring,
+                )
+                install_tick[bank][idx] = ticks[t]
+                prefetcher.on_demand_fill(pf_port, line, 0, t)
                 if measuring:
                     if victim_dirty:
                         counts["writebacks"] += 1
@@ -289,6 +404,9 @@ def _characterize(key: tuple) -> WorkloadCharacter:
         n_threads=n_threads,
         instrs=meas_pt * n_threads,
         reuse=tuple(tuple(row) for row in reuse),
+        outer_hits=tuple(outer_hits),
+        outer_misses=tuple(outer_misses),
+        outer_writebacks=tuple(outer_wb),
         **counts,
         **_blend_profiles(bench_weight, profiles),
     )

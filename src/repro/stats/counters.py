@@ -80,6 +80,15 @@ class SimStats:
     line_fills: int = 0
     writebacks: int = 0
     mshr_alloc_failures: int = 0
+    #: structurally refused requests (no MSHR / pinned set) that retried
+    blocked_requests: int = 0
+    #: per-outer-level fill-stream traffic, in stack order:
+    #: ``{level: {"hits": n, "misses": n, "writebacks": n}}``
+    level_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    # prefetcher traffic (zero when the hierarchy has no prefetcher)
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+    prefetch_dropped: int = 0
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -141,6 +150,24 @@ class SimStats:
         if not misses:
             return 0.0
         return (self.perceived_stall_fp + self.perceived_stall_int) / misses
+
+    def level_miss_rate(self, level: str) -> float:
+        """Miss rate of one outer level's fill stream (0.0 if unseen)."""
+        row = self.level_stats.get(level)
+        if not row:
+            return 0.0
+        seen = row.get("hits", 0) + row.get("misses", 0)
+        return row.get("misses", 0) / seen if seen else 0.0
+
+    @property
+    def prefetch_coverage(self) -> float:
+        """Fraction of issued prefetches whose line served a demand
+        access (useful prefetches / prefetch fills). Never exceeds 1:
+        hits and fills describe the same measured window (the warm-up
+        reset clears stale prefetched flags along with the counters)."""
+        if not self.prefetch_fills:
+            return 0.0
+        return self.prefetch_hits / self.prefetch_fills
 
     @property
     def mispredict_rate(self) -> float:
@@ -212,6 +239,20 @@ class SimStats:
             "bus_utilization": self.bus_utilization,
             "mispredict_rate": self.mispredict_rate,
             "average_slip": self.average_slip,
+            "line_fills": self.line_fills,
+            "writebacks": self.writebacks,
+            "blocked_requests": self.blocked_requests,
+            "mshr_alloc_failures": self.mshr_alloc_failures,
+            "levels": {
+                name: dict(row, miss_rate=self.level_miss_rate(name))
+                for name, row in self.level_stats.items()
+            },
+            "prefetch": {
+                "fills": self.prefetch_fills,
+                "hits": self.prefetch_hits,
+                "dropped": self.prefetch_dropped,
+                "coverage": self.prefetch_coverage,
+            },
             "ap_slots": self.slot_fractions(Unit.AP),
             "ep_slots": self.slot_fractions(Unit.EP),
         }

@@ -23,6 +23,29 @@ def format_run(stats: SimStats, label: str = "") -> str:
     lines.append(f"perceived FP lat     {stats.perceived_fp_latency:.2f} cyc")
     lines.append(f"perceived INT lat    {stats.perceived_int_latency:.2f} cyc")
     lines.append(f"bus utilization      {stats.bus_utilization * 100:.1f}%")
+    lines.append(
+        f"memory traffic       {stats.line_fills} fills, "
+        f"{stats.writebacks} writebacks, "
+        f"{stats.blocked_requests} blocked, "
+        f"{stats.mshr_alloc_failures} MSHR-full"
+    )
+    for name, row in stats.level_stats.items():
+        line = (
+            f"{name + ' level':<21}{row.get('hits', 0)} hits, "
+            f"{row.get('misses', 0)} misses "
+            f"({stats.level_miss_rate(name) * 100:.1f}% of fills), "
+            f"{row.get('writebacks', 0)} writebacks"
+        )
+        if row.get("mshr_failures"):
+            line += f", {row['mshr_failures']} MSHR-full"
+        lines.append(line)
+    if stats.prefetch_fills or stats.prefetch_dropped:
+        lines.append(
+            f"prefetch             {stats.prefetch_fills} fills, "
+            f"{stats.prefetch_hits} useful "
+            f"({stats.prefetch_coverage * 100:.0f}% coverage), "
+            f"{stats.prefetch_dropped} dropped"
+        )
     lines.append(f"mispredict rate      {stats.mispredict_rate * 100:.2f}%")
     lines.append(f"average slip         {stats.average_slip:.1f} instrs")
     for unit in (Unit.AP, Unit.EP):

@@ -197,10 +197,10 @@ class TestConformance:
         )
 
         doc = run_conformance(quick=True, timing_specs=8)
-        assert doc["n_cells"] == 12
+        assert doc["n_cells"] == 14  # 12 classic + 2 finite-L2 cells
         assert 0 <= doc["mean_abs_ipc_err"] <= doc["max_abs_ipc_err"]
         assert doc["timing"]["analytic_sweep_specs"] == 8
-        assert doc["timing"]["cycle_runs_executed"] == 12
+        assert doc["timing"]["cycle_runs_executed"] == 14
         assert doc["timing"]["sweep_speedup"] > 1
         text = render_conformance(doc)
         assert "mean |IPC err|" in text

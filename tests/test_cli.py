@@ -187,7 +187,12 @@ class TestPerfCommand:
         base = tmp_path / "base.json"
         assert main(["perf", "--output", str(base)]) == 0
         capsys.readouterr()
-        assert main(["perf", "--check", str(base), "--ratios-only"]) == 0
+        # wide tolerance: the tiny fixture budgets make sub-second
+        # measurement windows, where wall-clock jitter alone can exceed
+        # the CI default of 30% — this asserts the check *path*, not
+        # machine timing stability
+        assert main(["perf", "--check", str(base), "--ratios-only",
+                     "--tolerance", "0.9"]) == 0
 
     def test_perf_check_rejects_budget_mode_mismatch(self, tiny_workloads,
                                                      tmp_path, capsys):
@@ -208,3 +213,61 @@ class TestPerfCommand:
         capsys.readouterr()
         assert main(["perf", "--check", str(base), "--ratios-only"]) == 1
         assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+class TestMemFlags:
+    """--mem presets/files and sweep --mem-axis (PR 5)."""
+
+    def test_run_with_mem_preset(self, capsys):
+        assert main(["run", "--threads", "1", "--latency", "32",
+                     "--mem", "l2_small", "--commits", "1500",
+                     "--backend", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "L2 level" in out
+
+    def test_unknown_mem_preset_suggests(self, capsys):
+        assert main(["run", "--mem", "l2_fnite"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'l2_finite'" in err
+
+    def test_bench_with_mem_file(self, tmp_path, capsys):
+        path = tmp_path / "mem.json"
+        path.write_text(json.dumps({
+            "name": "filemem",
+            "levels": [{"name": "L1"},
+                       {"name": "L2", "capacity_bytes": 262144, "assoc": 4}],
+        }))
+        assert main(["bench", "fpppp", "--mem", str(path),
+                     "--backend", "analytic"]) == 0
+        assert "fpppp" in capsys.readouterr().out
+
+    def test_sweep_mem_axis_expands_grid(self, capsys):
+        assert main(["sweep", "--threads", "1", "--latencies", "16",
+                     "--mem", "l2_finite",
+                     "--mem-axis", "L2.capacity_bytes=256K,1M",
+                     "--backend", "analytic"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 2
+        labels = [r["label"] for r in doc["runs"]]
+        assert any("262144" in lab for lab in labels)
+
+    def test_sweep_mem_axis_defaults_to_classic(self, capsys):
+        assert main(["sweep", "--threads", "1", "--latencies", "16",
+                     "--mem-axis", "prefetch_kind=none,nextline",
+                     "--backend", "analytic"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 2
+
+    def test_sweep_rejects_bad_mem_axis_field(self, capsys):
+        assert main(["sweep", "--mem-axis", "prefetchkind=stream"]) == 2
+        assert "did you mean 'prefetch_kind'" in capsys.readouterr().err
+
+    def test_sweep_rejects_malformed_mem_axis(self, capsys):
+        assert main(["sweep", "--mem-axis", "nonsense"]) == 2
+        assert "field=value" in capsys.readouterr().err
+
+    def test_workloads_lists_mem_presets(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory-hierarchy presets" in out
+        assert "l2_finite" in out

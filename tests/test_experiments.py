@@ -85,5 +85,6 @@ class TestAblations:
 
     def test_registry(self):
         assert set(ablations.ABLATIONS) == {
-            "unit_width", "fetch_policy", "mshr", "iq_depth", "rob"
+            "unit_width", "fetch_policy", "mshr", "iq_depth", "rob",
+            "l2_finite", "prefetch", "bus_width",
         }

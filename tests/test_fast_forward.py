@@ -123,6 +123,35 @@ class TestIdleHeavyWorkloads:
         assert proc.ff_cycles_skipped > 0
 
 
+class TestPrefetcherConfigs:
+    """Miss-triggered prefetchers mutate MSHR/bus state only inside
+    demand accesses, so fast-forward must stay bit-identical with them
+    enabled — on both the classic and a finite-L2 hierarchy."""
+
+    @pytest.mark.parametrize("preset", ["nextline", "stream"])
+    def test_bit_identical_with_prefetch(self, preset):
+        from repro.memory.spec import mem_preset
+
+        proc = assert_differential(
+            RunSpec.single("su2cor", l2_latency=128, scale=1.0,
+                           commits=3000, warmup=800,
+                           mem=mem_preset(preset))
+        )
+        assert proc.ff_cycles_skipped > 0          # windows still taken
+        assert proc.mem.prefetch_fills > 0         # prefetcher really ran
+
+    def test_bit_identical_finite_l2(self):
+        from repro.memory.spec import mem_preset
+
+        assert_differential(
+            RunSpec.multiprogrammed(2, l2_latency=64,
+                                    mem=mem_preset("l2_small"),
+                                    commits_per_thread=1200,
+                                    warmup_per_thread=300,
+                                    scale=1.0, seg_instrs=4000)
+        )
+
+
 class TestDeadlockEquivalence:
     """The deadlock horizon must fire at the same cycle, with the same
     statistics, whether reached by stepping or by a fast-forward jump."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.cache import CONFLICT, HIT, MISS, SECONDARY, L1Cache
+from repro.memory.levels import CONFLICT, HIT, MISS, SECONDARY, L1Cache
 
 
 def make_cache():
@@ -70,24 +70,24 @@ class TestDirtyTracking:
         c = make_cache()
         c.install(0x1000, now=0, fill_cycle=1, make_dirty=False)
         assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6,
-                         make_dirty=False) is False
+                         make_dirty=False)[1] is False
 
     def test_dirty_victim_reports_writeback(self):
         c = make_cache()
         c.install(0x1000, now=0, fill_cycle=1, make_dirty=True)
-        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is True
+        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False)[1] is True
 
     def test_write_hit_sets_dirty(self):
         c = make_cache()
         c.install(0x1000, now=0, fill_cycle=1, make_dirty=False)
         c.touch_write(0x1008)
-        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is True
+        assert c.install(0x1000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False)[1] is True
 
     def test_touch_write_ignores_non_resident(self):
         c = make_cache()
         c.touch_write(0x9000)  # nothing resident: no crash, no dirty bit
         c.install(0x9000, now=0, fill_cycle=1, make_dirty=False)
-        assert c.install(0x9000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False) is False
+        assert c.install(0x9000 + 64 * 1024, now=5, fill_cycle=6, make_dirty=False)[1] is False
 
 
 class TestFlush:

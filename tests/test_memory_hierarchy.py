@@ -15,7 +15,7 @@ def make_mem(**kw):
         l2_latency=16, bus_bytes_per_cycle=16, l1_hit_latency=1,
     )
     defaults.update(kw)
-    return MemorySystem(**defaults)
+    return MemorySystem.classic(**defaults)
 
 
 class TestLoadTiming:
@@ -128,3 +128,15 @@ class TestStatsReset:
         assert mem.fills == 0
         assert mem.writebacks == 0
         assert mem.bus_utilization(100) == 0.0
+
+    def test_reset_clears_mshr_failures_with_the_window(self):
+        # every reported counter must describe the same post-warm-up
+        # window; a warmup-inclusive MSHR-full count next to a
+        # warmup-excluded blocked count is a contradiction
+        mem = make_mem(mshrs=1)
+        mem.load(0x1000, now=0)
+        assert mem.load(0x2000, now=0)[0] == 3  # S_BLOCKED
+        assert mem.mshrs.alloc_failures == 1
+        mem.reset_stats()
+        assert mem.mshrs.alloc_failures == 0
+        assert mem.blocked_requests == 0

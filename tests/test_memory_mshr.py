@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.mshr import MSHRFile
+from repro.memory.levels import MSHRFile
 
 
 class TestAllocation:

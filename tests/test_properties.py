@@ -23,7 +23,7 @@ from repro.core.queues import InstQueue, StoreAddressQueue
 from repro.core.rename import RenameFile
 from repro.isa.instruction import DynInst, StaticInst
 from repro.isa.opclass import OpClass
-from repro.memory.cache import HIT, MISS, L1Cache
+from repro.memory.levels import HIT, MISS, L1Cache
 from repro.stats.counters import SimStats
 from repro.workloads.multiprogram import multiprogram
 from repro.workloads.synth import fold, FOLD_WINDOW
