@@ -2,9 +2,10 @@
 
 Runs the same pinned workload set as ``repro-sim perf`` through
 pytest-benchmark, and gates the machine-independent ratio metrics against
-the committed ``BENCH_PR5.json`` baseline.  Absolute throughput numbers in
+the committed ``BENCH_PR6.json`` baseline.  Absolute throughput numbers in
 the baseline document the machine that recorded it; only the ratios
-(fast-forward speedup, bit-identity) are asserted here, because this suite
+(per-workload cycles/s normalized by the run's own geometric mean,
+fast-forward speedup, bit-identity) are asserted here, because this suite
 runs on arbitrary hardware.
 """
 
@@ -17,7 +18,7 @@ from repro.experiments.perf import (
     run_perf,
 )
 
-QUICK_BASELINE = Path(__file__).with_name("BENCH_PR5.quick.json")
+QUICK_BASELINE = Path(__file__).with_name("BENCH_PR6.quick.json")
 
 
 def test_perf_quick_vs_committed_baseline(once):

@@ -340,6 +340,8 @@ def _deadlock_overrides(args) -> dict:
 def _cmd_perf(args) -> int:
     doc = perf_mod.run_perf(
         quick=args.quick,
+        reps=args.reps,
+        profile=args.profile,
         progress=lambda msg: print(f"[perf] {msg}", file=sys.stderr),
     )
     print(format_perf(doc))
@@ -837,8 +839,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--ratios-only", action="store_true",
         help="with --check: compare only machine-independent ratios "
-             "(fast-forward speedup, bit-identity) — use when the baseline "
-             "was recorded on different hardware (CI does)",
+             "(per-workload cycles/s normalized by the run's geometric "
+             "mean, fast-forward speedup, bit-identity) — use when the "
+             "baseline was recorded on different hardware (CI does)",
+    )
+    p.add_argument(
+        "--reps", type=int, default=3, metavar="N",
+        help="measure each workload N times and keep the best wall time "
+             "(default: 3; simulations are deterministic, so the fastest "
+             "run is the least-noise estimate)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="also cProfile each workload once (separately from the "
+             "timed runs) and embed the top hot-spot report in the "
+             "document — CI uploads it as the perf-smoke artifact",
     )
     p.set_defaults(func=_cmd_perf)
     return parser

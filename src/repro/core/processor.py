@@ -68,6 +68,12 @@ class Processor:
         self.cfg = cfg
         self.state = MachineState(cfg, playlists, seed=seed, wrap=wrap)
         self.stages = build_stages(cfg)
+        # bound tick methods in pipeline order, resolved once at build
+        # time — run()'s inlined cycle loop calls these directly instead
+        # of re-resolving six .tick attributes per simulated cycle
+        self._ticks = tuple(s.tick for s in self.stages)
+        self._quiescents = tuple(s.quiescent for s in self.stages)
+        self._skips = tuple(s.skip for s in self.stages)
         # fast-forward diagnostics (not part of SimStats: both stepping
         # modes must produce bit-identical statistics)
         self.ff_jumps = 0
@@ -138,8 +144,8 @@ class Processor:
         the same statistics attributed.
         """
         st = self.state
-        for stage in self.stages:
-            if not stage.quiescent(st):
+        for quiescent in self._quiescents:
+            if not quiescent(st):
                 return 0
         target = st.last_commit_cycle + st.deadlock_cycles + 1
         nxt = st.next_event_cycle()
@@ -150,8 +156,8 @@ class Processor:
         k = target - st.cycle
         if k <= 0:
             return 0
-        for stage in self.stages:
-            stage.skip(st, k)
+        for skip in self._skips:
+            skip(st, k)
         st.cycle = target
         st.stats.cycles += k
         self.ff_jumps += 1
@@ -224,35 +230,78 @@ class Processor:
         # skip() contract cannot replay; fall back to the per-cycle walk
         fast_forward = fast_forward and st.mem.fast_forward_safe
         if warmup_commits:
-            target = st.total_committed + warmup_commits
-            idle_hint = False
-            while st.total_committed < target:
-                if idle_hint and fast_forward and self._fast_forward(None):
-                    idle_hint = False
-                    continue
-                before = self._progress_mark()
-                self.step()
-                idle_hint = self._progress_mark() == before
+            # the warm-up loop intentionally ignores finite-drain: a
+            # finite program too short for its warm-up budget hits the
+            # deadlock horizon, exactly like the pre-inlined loop did
+            self._run_region(
+                st.total_committed + warmup_commits, None, fast_forward,
+                finite=False,
+            )
             self.reset_stats()
         commit_target = (
             st.total_committed + max_commits if max_commits else None
         )
         cycle_limit = st.cycle + max_cycles if max_cycles else None
+        self._run_region(
+            commit_target, cycle_limit, fast_forward, finite=st.finite
+        )
+        return self.snapshot()
+
+    def _run_region(
+        self,
+        commit_target: int | None,
+        cycle_limit: int | None,
+        fast_forward: bool,
+        finite: bool,
+    ) -> None:
+        """The hot cycle loop of one region (warm-up or measured).
+
+        Semantically ``while not done: step()`` plus idle-window jumps,
+        with ``step()`` and ``_progress_mark()`` inlined: per simulated
+        cycle the factored version paid two method calls, twelve stats
+        attribute reads and six ``.tick`` attribute resolutions — all
+        loop-invariant. ``step()`` stays the reference single-cycle
+        entry point for tracers and tests.
+        """
+        st = self.state
+        mem = st.mem
+        fast = self._fast_forward
+        t0, t1, t2, t3, t4, t5 = self._ticks
         idle_hint = False
         while True:
-            if commit_target is not None and st.total_committed >= commit_target:
+            if (
+                commit_target is not None
+                and st.total_committed >= commit_target
+            ):
                 break
             if cycle_limit is not None and st.cycle >= cycle_limit:
                 break
-            if st.finite and self.finished():
+            if finite and self.finished():
                 break
-            if idle_hint and fast_forward and self._fast_forward(cycle_limit):
+            if idle_hint and fast_forward and fast(cycle_limit):
                 idle_hint = False
                 continue
-            before = self._progress_mark()
-            self.step()
-            idle_hint = self._progress_mark() == before
-        return self.snapshot()
+            stats = st.stats
+            before = (
+                stats.fetched + stats.dispatched + stats.issued
+                + stats.committed + stats.stores
+            )
+            # -- inlined step() --
+            mem._ports_used = 0
+            t0(st)
+            t1(st)
+            t2(st)
+            t3(st)
+            t4(st)
+            t5(st)
+            st.cycle += 1
+            stats.cycles += 1
+            if st.cycle - st.last_commit_cycle > st.deadlock_cycles:
+                self._raise_deadlock()
+            idle_hint = before == (
+                stats.fetched + stats.dispatched + stats.issued
+                + stats.committed + stats.stores
+            )
 
     def snapshot(self) -> SimStats:
         """Finalise and return the statistics object."""

@@ -28,7 +28,7 @@ Every stage also answers two questions for the idle-cycle fast-forward:
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 
 from repro.core.state import MachineState
 from repro.core.context import ThreadContext
@@ -92,7 +92,7 @@ class WritebackStage(Stage):
         now = st.cycle
         threads = st.threads
         while events and events[0][0] <= now:
-            inst = heapq.heappop(events)[2]
+            inst = heappop(events)[2]
             t = threads[inst.thread]
             if inst.state == ST_SQUASHED:
                 # zombie: squashed while in flight; reclaim its register
@@ -237,30 +237,32 @@ def _try_issue(st: MachineState, t: ThreadContext, d: DynInst, now: int):
             if prod is not None and prod.load_miss and prod.state == ST_ISSUED:
                 return (SLOT_WAIT_MEM, prod, d)
             return (SLOT_WAIT_FU, None, d)
-    op = d.static.op
-    cfg = st.cfg
+    s = d.static
+    op = s.op
     stats = st.stats
+    # completion scheduling (MachineState.complete_later) is inlined at
+    # each site below: one method call per issued instruction adds up
     if op == _OP_LOAD_F or op == _OP_LOAD_I:
         mem = st.mem
-        fwd = t.saq.find_older_match(d.static.addr, d.seq)
+        fwd = t.saq.find_older_match(s.addr, d.seq)
         if fwd is not None:
             if fwd.pdata >= 0 and not ready[fwd.pdata]:
                 return (SLOT_OTHER, None, d)
             # store-to-load forwarding: completes like a hit
-            st.complete_later(d, now + 1 + mem.hit_latency)
+            when = now + 1 + mem.hit_latency
             if not d.wrong_path:
                 if op == _OP_LOAD_F:
                     stats.loads_fp += 1
                 else:
                     stats.loads_int += 1
         else:
-            if not mem.port_available():
+            if mem._ports_used >= mem.ports:
                 return (SLOT_OTHER, None, d)
-            status, when = mem.load(t.salted(d.static.addr), now, t.tid)
+            status, when = mem.load(t.salted(s.addr), now, t.tid)
             if status == S_BLOCKED:
                 return (SLOT_OTHER, None, d)
-            mem.claim_port()
-            st.complete_later(d, when + 1)  # +1: address generation
+            mem._ports_used += 1
+            when += 1  # +1: address generation
             if status != S_HIT:
                 d.load_miss = True
             if not d.wrong_path:
@@ -278,10 +280,13 @@ def _try_issue(st: MachineState, t: ThreadContext, d: DynInst, now: int):
                         stats.load_merged_int += 1
     elif d.unit == _UNIT_AP:
         # IALU, BRANCH, ITOF, store address generation
-        st.complete_later(d, now + cfg.ap_latency)
+        when = now + st.cfg.ap_latency
     else:
         # FALU, FTOI
-        st.complete_later(d, now + cfg.ep_latency)
+        when = now + st.cfg.ep_latency
+    evseq = st.evseq + 1
+    st.evseq = evseq
+    heappush(st.events, (when, evseq, d))
     d.state = ST_ISSUED
     d.issue_cycle = now
     stats.issued += 1
@@ -626,25 +631,75 @@ class DispatchStage(Stage):
         t.rob.append(d)
 
     def tick(self, st: MachineState) -> None:
-        budget = st.cfg.dispatch_width
+        # Inlined merge of can_dispatch + _do_dispatch with the per-tick
+        # config hoisted into locals: this is the hottest stage on busy
+        # workloads, and the split version re-derived static fields and
+        # re-selected the target queue once per check and once per commit.
+        # The split methods stay authoritative for quiescent(); the
+        # fast-forward differential suite keeps the copies in lockstep.
+        cfg = st.cfg
+        budget = cfg.dispatch_width
         threads = st.threads
         n = len(threads)
         start = st.rr_dispatch
         st.rr_dispatch = (start + 1) % n
-        can_dispatch = self.can_dispatch
-        do_dispatch = self._do_dispatch
+        rob_size = cfg.rob_size
+        max_branches = cfg.max_unresolved_branches
+        decoupled = cfg.decoupled
         dispatched = 0
         for i in range(n):
             if not budget:
                 break
             t = threads[(start + i) % n]
             buf = t.fetch_buf
+            if not buf:
+                continue
+            rob = t.rob
+            rename = t.rename
+            saq = t.saq
             while budget and buf:
                 d = buf[0]
-                if not can_dispatch(st, t, d):
+                if len(rob) >= rob_size:
+                    break
+                s = d.static
+                op = s.op
+                is_store = op == _OP_STORE_F or op == _OP_STORE_I
+                if (
+                    op == _OP_BRANCH
+                    and t.unresolved_branches >= max_branches
+                ):
+                    break
+                if is_store and len(saq.q) >= saq.capacity:
+                    break
+                if decoupled:
+                    q = t.iq if d.unit == _UNIT_EP else t.aq
+                else:
+                    q = t.uq
+                if len(q.q) >= q.capacity:
+                    break
+                dest = s.dest
+                if dest is not None and not rename.can_rename_dest(dest):
                     break
                 buf.popleft()
-                do_dispatch(st, t, d)
+                if is_store:
+                    srcs = s.srcs
+                    d.psrcs = rename.srcs_of(srcs[:1])
+                    if len(srcs) > 1:
+                        data = srcs[1]
+                        if data != 31 and data != 63:  # hardwired zeros
+                            d.pdata = rename.map[data]
+                    saq.push(d)
+                else:
+                    d.psrcs = rename.srcs_of(s.srcs)
+                if dest is not None:
+                    pdest, d.old_pdest = rename.rename_dest(dest)
+                    d.pdest = pdest
+                    if pdest >= 0:
+                        rename.producer[pdest] = d
+                if op == _OP_BRANCH:
+                    t.unresolved_branches += 1
+                q.q.append(d)
+                rob.append(d)
                 dispatched += 1
                 budget -= 1
         if dispatched:
@@ -676,45 +731,68 @@ class FetchStage(Stage):
 
     @staticmethod
     def _fetch_thread(st: MachineState, t: ThreadContext) -> None:
+        # The trace walk is inlined (ThreadContext.advance stays the
+        # reference implementation): per fetched instruction the split
+        # version paid a __getitem__, a __len__ and an advance() call.
         cfg = st.cfg
         stats = st.stats
         buf = t.fetch_buf
+        buf_append = buf.append
         n = min(cfg.fetch_width, cfg.fetch_buffer - len(buf))
         now = st.cycle
         tid = t.tid
         fetched = 0
         wp_fetched = 0
+        trace = t.trace
+        insts = trace._insts
+        tlen = len(insts)
+        playlist = t.playlist
+        wrap = t.wrap
+        bht = t.bht
+        seq = t.seq
+        pos = t.pos
         while n > 0:
             if t.wrong_path:
                 s = t.next_wp_inst()
-                d = DynInst(s, tid, t.seq, True)
-                t.seq += 1
+                d = DynInst(s, tid, seq, True)
+                seq += 1
                 d.fetch_cycle = now
-                buf.append(d)
+                buf_append(d)
                 fetched += 1
                 wp_fetched += 1
                 n -= 1
                 continue
-            if t.pos >= len(t.trace):  # exhausted (finite program)
+            if pos >= tlen:  # exhausted (finite program)
                 break
-            s = t.trace[t.pos]
-            d = DynInst(s, tid, t.seq, False)
-            t.seq += 1
+            s = insts[pos]
+            d = DynInst(s, tid, seq, False)
+            seq += 1
             d.fetch_cycle = now
-            t.advance()
-            buf.append(d)
+            pos += 1
+            if pos >= tlen and (wrap or t.play_idx + 1 < len(playlist)):
+                play_idx = (t.play_idx + 1) % len(playlist)
+                t.play_idx = play_idx
+                trace = playlist[play_idx]
+                t.trace = trace
+                insts = trace._insts
+                tlen = len(insts)
+                pos = 0
+            buf_append(d)
             fetched += 1
             n -= 1
             if s.op == _OP_BRANCH:
-                pred = t.bht.predict_and_update(s.pc, s.taken)
+                pred = bht.predict_and_update(s.pc, s.taken)
                 d.pred_taken = pred
                 stats.branches += 1
                 if pred != s.taken:
                     stats.branch_mispredicts += 1
                     t.wrong_path = True
-                    t.mark_resume(d.seq)
+                    # mark_resume, from the already-advanced locals
+                    t.branch_resume[d.seq] = (t.play_idx, pos)
                 if pred:
                     break  # a predicted-taken branch ends the fetch group
+        t.pos = pos
+        t.seq = seq
         if fetched:
             stats.fetched += fetched
             if wp_fetched:

@@ -48,7 +48,11 @@ same machine are meaningful; absolute throughputs move with hardware.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
+import math
+import pstats
 import time
 
 from repro.engine.spec import RunSpec
@@ -145,22 +149,61 @@ def measure(
     }
 
 
-def run_perf(quick: bool = False, progress=None) -> dict:
-    """Measure the pinned workload set; returns the perf document."""
+def profile_workload(spec: RunSpec, top_n: int = 15) -> list[str]:
+    """One cProfile'd run of ``spec``'s measured region; returns the
+    ``tottime``-sorted top-``top_n`` report lines.
+
+    Run *separately* from :func:`measure` — the profiler's tracing
+    overhead would distort every wall-clock number it shared a run with.
+    """
+    proc, run_kwargs = spec.instantiate()
+    warmup = run_kwargs.pop("warmup_commits", 0)
+    if warmup:
+        proc.run(max_commits=warmup, max_cycles=None)
+        proc.reset_stats()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    proc.run(**run_kwargs)
+    profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(
+        top_n
+    )
+    # keep the header + table rows, drop pstats' leading blank chatter
+    lines = [ln.rstrip() for ln in buf.getvalue().splitlines()]
+    return [ln for ln in lines if ln][:top_n + 6]
+
+
+def run_perf(
+    quick: bool = False, progress=None, reps: int = 3,
+    profile: bool = False, profile_top: int = 15,
+) -> dict:
+    """Measure the pinned workload set; returns the perf document.
+
+    Every workload (and the headline's per-cycle stepping run) is
+    measured ``reps`` times keeping the best wall clock, so committed
+    baselines and the ``--check`` gate aren't single-sample noisy.  With
+    ``profile=True`` each workload also gets one separate cProfile'd run
+    whose top-``profile_top`` report lands in the document (CI uploads it
+    as the perf-smoke artifact, so a regression comes with the profile
+    that explains it).
+    """
     say = progress or (lambda msg: None)
-    doc: dict = {"schema": SCHEMA, "quick": quick, "workloads": {}}
+    doc: dict = {
+        "schema": SCHEMA, "quick": quick, "reps": reps, "workloads": {},
+    }
     specs = perf_specs(quick=quick)
     for name, spec in specs.items():
-        # best-of-2 on the headline: its speedup ratio is a CI gate, and
-        # one scheduler hiccup in a sub-second region must not fail a build
-        repeats = 2 if name == HEADLINE else 1
-        stats, m = measure(spec, fast_forward=True, repeats=repeats)
+        stats, m = measure(spec, fast_forward=True, repeats=reps)
         doc["workloads"][name] = m
         say(f"{name}: {m['cycles_per_s']:,.0f} cycles/s "
             f"({m['wall_s']:.2f}s wall)")
+        if profile:
+            m["profile"] = profile_workload(spec, top_n=profile_top)
+            say(f"{name}: profiled ({len(m['profile'])} report lines)")
         if name == HEADLINE:
             step_stats, step_m = measure(spec, fast_forward=False,
-                                         repeats=repeats)
+                                         repeats=reps)
             speedup = (
                 step_m["wall_s"] / m["wall_s"] if m["wall_s"] > 0 else 0.0
             )
@@ -185,11 +228,15 @@ def check_regression(
     Returns a list of failure strings (empty = pass).  Checks, per
     workload present in both documents, that simulation throughput did not
     drop by more than ``tolerance``; that the headline speedup did not
-    either; and that the headline runs stayed bit-identical.
+    either; and that the headline runs stayed bit-identical.  Every
+    failure names the offending workload and the tolerance it broke.
 
-    ``ratios_only`` skips the absolute-throughput comparison and keeps the
-    ratio metrics (headline speedup, bit-identity), which are the only
-    ones meaningful when the baseline was recorded on different hardware —
+    ``ratios_only`` replaces the absolute-throughput comparison with a
+    machine-independent one: each workload's cycles/s *normalized by the
+    document's own geometric mean* is compared against the baseline's
+    normalized figure.  A uniform hardware-speed difference cancels out
+    of the normalization, while one workload regressing against the
+    others (a facade-layer slowdown, a lost specialization) still fails —
     CI gates against the committed baseline this way.
     """
     failures: list[str] = []
@@ -203,14 +250,40 @@ def check_regression(
         ]
     floor = 1.0 - tolerance
     base_workloads = baseline.get("workloads", {})
-    if not ratios_only:
-        for name, m in doc.get("workloads", {}).items():
-            b = base_workloads.get(name)
-            if b is None:
-                continue
-            base_rate = b.get("cycles_per_s") or 0.0
-            rate = m.get("cycles_per_s") or 0.0
-            if base_rate > 0 and rate < base_rate * floor:
+    rates = {
+        name: m.get("cycles_per_s") or 0.0
+        for name, m in doc.get("workloads", {}).items()
+    }
+    base_rates = {
+        name: (base_workloads.get(name) or {}).get("cycles_per_s") or 0.0
+        for name in rates
+    }
+    common = [n for n in rates if rates[n] > 0 and base_rates[n] > 0]
+    if ratios_only:
+        # normalize each workload by its own document's geometric mean;
+        # needs >= 2 workloads for the normalization to mean anything
+        if len(common) >= 2:
+            gm = math.exp(
+                sum(math.log(rates[n]) for n in common) / len(common)
+            )
+            base_gm = math.exp(
+                sum(math.log(base_rates[n]) for n in common) / len(common)
+            )
+            for name in common:
+                rel = rates[name] / gm
+                base_rel = base_rates[name] / base_gm
+                if rel < base_rel * floor:
+                    failures.append(
+                        f"{name}: normalized throughput {rel:.3f} is "
+                        f"{(1 - rel / base_rel) * 100:.0f}% below baseline "
+                        f"{base_rel:.3f} (tolerance {tolerance * 100:.0f}%, "
+                        "ratios-only: cycles/s relative to the run's own "
+                        "geometric mean)"
+                    )
+    else:
+        for name in common:
+            rate, base_rate = rates[name], base_rates[name]
+            if rate < base_rate * floor:
                 failures.append(
                     f"{name}: {rate:,.0f} cycles/s is "
                     f"{(1 - rate / base_rate) * 100:.0f}% below baseline "

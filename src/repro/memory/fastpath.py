@@ -1,0 +1,142 @@
+"""Spec-specialized memory fast path.
+
+The generic :class:`~repro.memory.hierarchy.MemorySystem` miss path is an
+interpreter: every access re-discovers the shape of the level stack — walk
+the outer levels (``_plan_outer``), collect the levels that missed, check
+each one's MSHR file, commit the fill level by level, consult the
+prefetcher.  That generality is exactly what PR 5 bought, and on the
+*default* shape — one L1 slice in front of an infinite conflict-free L2,
+FIFO bus, no prefetcher — every one of those steps is statically a no-op
+or a constant.
+
+:func:`build_fastpath` inspects a freshly composed ``MemorySystem`` and,
+when the resolved spec has that flat shape, returns hand-flattened
+``load``/``store`` closures that the facade installs over its generic
+methods.  The closures capture the L1 tag/dirty/pending arrays, the MSHR
+file's internals, the bus and the single outer level directly, so a hit is
+a couple of list indexes and a miss is one straight-line block — no
+``_plan_outer`` plan tuple, no per-level loops, no prefetcher hook, no
+``_commit_fill`` frame.
+
+Safety contract: the closures must be **bit-identical** to the generic
+path — same status codes, same ready cycles, same counter increments in
+the same order (the bus schedules the fill transfer *before* a dirty
+victim's write-back, exactly like ``_commit_fill``).  The generic path is
+kept as the differential reference; ``tests/test_fastpath.py`` drives both
+through random access streams and full pipeline runs.  Exotic stacks —
+finite or banked outer levels, bounded outer MSHR files, multiple L1
+slices, any prefetcher — fall back to the generic interpreter untouched.
+
+Set ``REPRO_GENERIC_MEM=1`` to disable specialization globally (CI uses
+this to prove the generic path still carries the whole tier-1 suite).
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+
+from repro.memory.levels import InfiniteLevel
+from repro.memory.prefetch import Prefetcher
+
+# Status codes (mirrored from repro.memory.hierarchy; imported lazily there
+# to avoid a module cycle — hierarchy asserts the two sets agree).
+S_HIT = 0
+S_MISS = 1
+S_SECONDARY = 2
+S_BLOCKED = 3
+
+
+def _eligible(mem) -> bool:
+    """True when ``mem`` has the flat classic shape the closures model."""
+    if os.environ.get("REPRO_GENERIC_MEM"):
+        return False
+    if len(mem._l1s) != 1:
+        return False  # per-thread L1 slices: keep the generic dispatch
+    if type(mem.prefetcher) is not Prefetcher:
+        return False  # any real prefetcher hooks the demand-fill path
+    for lvl in mem.outer:
+        if not isinstance(lvl.store, InfiniteLevel):
+            return False  # finite outer level: real tag state + LRU
+        if lvl.banks:
+            return False  # bank queueing adds per-access delay state
+        if lvl.mshrs.count is not None:
+            return False  # bounded outer MSHR file can refuse a fill
+    return True
+
+
+def build_fastpath(mem):
+    """Return specialized ``(load, store)`` closures for ``mem``, or
+    ``None`` when the composed shape needs the generic interpreter."""
+    if not _eligible(mem):
+        return None
+
+    l1 = mem._l1s[0]
+    tags = l1.tags
+    dirty = l1.dirty
+    pending = l1.pending
+    set_mask = l1._set_mask
+    line_shift = l1._line_shift
+    hit_latency = mem.hit_latency
+    mshrs = mem.mshrs
+    mshr_count = mshrs.count
+    releases = mshrs._releases
+    bus = mem.bus
+    schedule_line = bus.schedule_line
+    outer0 = mem.outer[0] if mem.outer else None
+    # with every outer level infinite the first one always serves; with no
+    # outer level at all the miss goes straight to memory
+    serve_latency = (
+        outer0.hit_latency if outer0 is not None else mem.memory_latency
+    )
+
+    def _access(addr: int, now: int, make_dirty: bool):
+        """The shared miss-path tail (the flattened ``_demand_miss`` +
+        ``_commit_fill``), plus the L1 probe, in one frame."""
+        line = addr >> line_shift
+        idx = line & set_mask
+        pend = pending[idx]
+        if tags[idx] == line:
+            if pend > now:                    # merged into in-flight fill
+                if make_dirty:
+                    dirty[idx] = 1
+                return S_SECONDARY, pend
+            if make_dirty:                    # plain hit
+                dirty[idx] = 1
+            return S_HIT, now + hit_latency
+        if pend > now:                        # set pinned by another fill
+            mem.blocked_requests += 1
+            return S_BLOCKED, pend
+        # primary miss: refuse before touching anything when no MSHR is free
+        if mshr_count is not None:
+            while releases and releases[0] <= now:
+                heappop(releases)
+                mshrs.in_use -= 1
+            if mshrs.in_use >= mshr_count:
+                mshrs.alloc_failures += 1
+                mem.blocked_requests += 1
+                return S_BLOCKED, 0
+        if outer0 is not None:
+            outer0.hits += 1
+        fill = schedule_line(now + serve_latency)
+        if mshr_count is not None:
+            mshrs.in_use += 1
+            heappush(releases, fill)
+        # install into the L1 (the dirty victim's write-back transfer is
+        # scheduled after the fill transfer, exactly like _commit_fill)
+        if tags[idx] != -1 and dirty[idx]:
+            schedule_line(now)
+            mem.writebacks += 1
+        tags[idx] = line
+        dirty[idx] = 1 if make_dirty else 0
+        pending[idx] = fill
+        mem.fills += 1
+        return S_MISS, fill
+
+    def load(addr: int, now: int, tid: int = 0):
+        return _access(addr, now, False)
+
+    def store(addr: int, now: int, tid: int = 0):
+        return _access(addr, now, True)
+
+    return load, store

@@ -102,7 +102,7 @@ class MemorySystem:
     arbitration and traffic stats, composed from a :class:`MemSpec`."""
 
     def __init__(self, spec: MemSpec, n_threads: int = 1,
-                 line_bytes: int = 32):
+                 line_bytes: int = 32, specialize: bool = True):
         if not spec.resolved:
             raise ValueError(
                 "MemorySystem needs a resolved MemSpec "
@@ -140,6 +140,18 @@ class MemorySystem:
         self.prefetch_fills = 0
         self.prefetch_hits = 0
         self.prefetch_dropped = 0
+        # Spec-specialized hot path: when the composed shape is the flat
+        # classic one, instance-level load/store closures shadow the
+        # generic methods below (which remain the differential reference
+        # and the fallback for exotic stacks).
+        self.specialized = False
+        if specialize:
+            from repro.memory.fastpath import build_fastpath
+
+            fast = build_fastpath(self)
+            if fast is not None:
+                self.load, self.store = fast
+                self.specialized = True
 
     @classmethod
     def classic(

@@ -91,6 +91,11 @@ def format_perf(doc: dict) -> str:
             f"{head['wall_s_stepping']:.2f}s -> speedup {head['speedup']:.2f}x "
             f"(stats bit-identical: {head['bit_identical']})"
         )
+    for name, m in sorted(doc.get("workloads", {}).items()):
+        if m.get("profile"):
+            out.append(
+                f"profile: {name}\n" + "\n".join(m["profile"])
+            )
     return "\n\n".join(out)
 
 

@@ -1,0 +1,170 @@
+"""Spec-specialized memory fast path: selection and bit-identity.
+
+The specialized ``load``/``store`` closures (``memory/fastpath.py``) must
+be indistinguishable from the generic :class:`MemorySystem` interpreter —
+same status codes, same ready cycles, same counters in the same order —
+on every shape they claim, and must *decline* every shape they do not
+model.  The differential tests here drive a specialized system and its
+generic twin (``specialize=False``) through identical access streams and
+whole pipeline runs and require equality everywhere.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.engine.spec import RunSpec
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.spec import mem_preset
+
+
+@pytest.fixture(autouse=True)
+def _specialization_enabled(monkeypatch):
+    """These tests exercise the specialized path on purpose — neutralize
+    an ambient REPRO_GENERIC_MEM (e.g. CI's fallback-paths job)."""
+    monkeypatch.delenv("REPRO_GENERIC_MEM", raising=False)
+
+
+def resolved(name="classic", n_threads=1, **cfg_kw):
+    cfg = MachineConfig(n_threads=n_threads, **cfg_kw)
+    return mem_preset(name).resolve(cfg)
+
+
+def make_pair(name="classic", n_threads=1, line_bytes=32, **cfg_kw):
+    """(specialized, generic) MemorySystem twins of one resolved spec."""
+    spec = resolved(name, n_threads=n_threads, **cfg_kw)
+    fast = MemorySystem(spec, n_threads=n_threads, line_bytes=line_bytes)
+    ref = MemorySystem(spec, n_threads=n_threads, line_bytes=line_bytes,
+                       specialize=False)
+    return fast, ref
+
+
+def counters(mem):
+    return {
+        "fills": mem.fills,
+        "writebacks": mem.writebacks,
+        "blocked": mem.blocked_requests,
+        "mshr_failures": mem.mshrs.alloc_failures,
+        "mshr_in_use": mem.mshrs.in_use,
+        "bus_busy": mem.bus.busy_cycles,
+        "bus_free_at": mem.bus.free_at,
+        "levels": mem.level_stats(),
+        "l1": (list(mem.l1.tags), bytes(mem.l1.dirty),
+               list(mem.l1.pending)),
+    }
+
+
+class TestSelection:
+    def test_classic_is_specialized(self):
+        assert MemorySystem.classic().specialized is True
+
+    def test_classic_multithread_shared_l1_is_specialized(self):
+        spec = resolved("classic", n_threads=4)
+        mem = MemorySystem(spec, n_threads=4)
+        assert mem.specialized is True
+
+    def test_wide_bus_is_specialized(self):
+        spec = resolved("wide_bus")
+        assert MemorySystem(spec).specialized is True
+
+    @pytest.mark.parametrize(
+        "preset", ["l2_finite", "l2_small", "l2_partitioned",
+                   "nextline", "stream"],
+    )
+    def test_exotic_shapes_fall_back(self, preset):
+        spec = resolved(preset)
+        mem = MemorySystem(spec)
+        assert mem.specialized is False
+
+    def test_per_thread_l1_slices_fall_back(self):
+        # spec surgery on the classic preset: un-share the L1 so each
+        # hardware context gets its own slice
+        from dataclasses import replace
+
+        base = mem_preset("classic")
+        spec = replace(
+            base, levels=(replace(base.levels[0], shared=False),)
+            + base.levels[1:],
+        ).resolve(MachineConfig(n_threads=4))
+        mem = MemorySystem(spec, n_threads=4)
+        assert len(mem._l1s) == 4 and mem.specialized is False
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GENERIC_MEM", "1")
+        assert MemorySystem.classic().specialized is False
+
+    def test_generic_flag_builds_generic(self):
+        spec = resolved("classic")
+        mem = MemorySystem(spec, specialize=False)
+        assert mem.specialized is False
+
+
+class TestDifferentialStreams:
+    """Random access streams: every return value and counter matches."""
+
+    GRID = [
+        dict(),
+        dict(mshrs=2),
+        dict(l2_latency=256),
+        dict(bus_bytes_per_cycle=32),
+        dict(l1_bytes=4 * 1024),
+        dict(n_threads=4),
+    ]
+
+    @pytest.mark.parametrize("kw", GRID)
+    def test_stream_bit_identical(self, kw):
+        n_threads = kw.pop("n_threads", 1)
+        fast, ref = make_pair("classic", n_threads=n_threads, **kw)
+        assert fast.specialized and not ref.specialized
+        rng = random.Random(1234)
+        now = 0
+        for i in range(20_000):
+            now += rng.randrange(0, 3)
+            if i % 512 == 0:
+                fast.begin_cycle()
+                ref.begin_cycle()
+            # a few 64 KB regions, with some very hot lines mixed in
+            addr = (rng.randrange(0, 4) << 26) | rng.randrange(0, 1 << 16)
+            tid = rng.randrange(n_threads)
+            if rng.random() < 0.3:
+                got = fast.store(addr, now, tid)
+                want = ref.store(addr, now, tid)
+            else:
+                got = fast.load(addr, now, tid)
+                want = ref.load(addr, now, tid)
+            assert got == want, f"access {i}: {got} != {want}"
+        assert counters(fast) == counters(ref)
+
+    def test_reset_stats_keeps_paths_in_lockstep(self):
+        fast, ref = make_pair("classic")
+        for mem in (fast, ref):
+            mem.load(0x1000, 0)
+            mem.store(0x2000, 1)
+            mem.reset_stats()
+            mem.load(0x3000, 2)
+        assert counters(fast) == counters(ref)
+
+
+class TestDifferentialPipeline:
+    """Whole-run differential: a pipeline on the specialized system must
+    produce the exact SimStats of one on the generic interpreter."""
+
+    @pytest.mark.parametrize("build", [
+        lambda: RunSpec.single("su2cor", l2_latency=64,
+                               commits=4_000, warmup=1_000),
+        lambda: RunSpec.multiprogrammed(2, l2_latency=16,
+                                        commits_per_thread=2_000,
+                                        warmup_per_thread=500),
+    ])
+    def test_run_bit_identical(self, build, monkeypatch):
+        spec = build()
+        proc, kw = spec.instantiate()
+        assert proc.mem.specialized is True
+        fast_stats = proc.run(**kw)
+
+        monkeypatch.setenv("REPRO_GENERIC_MEM", "1")
+        proc2, kw2 = spec.instantiate()
+        assert proc2.mem.specialized is False
+        ref_stats = proc2.run(**kw2)
+        assert fast_stats.to_dict() == ref_stats.to_dict()
