@@ -93,6 +93,9 @@ examples:
   repro-sim sweep --workload thrash4 --workload-axis hot_frac=0.2,0.5,0.9
   repro-sim run --mem l2_finite --threads 4 --latency 64
   repro-sim sweep --mem l2_finite --mem-axis L2.capacity_bytes=256K,1M,4M
+  repro-sim sweep --latencies 256 --commits 1000 --fork-warmup 2
+  repro-sim run --threads 1 --snapshot warm.snap
+  repro-sim run --threads 1 --restore warm.snap --commits 5000
   repro-sim sweep --mem-axis prefetch_kind=none,nextline --backend analytic
   repro-sim workloads
   repro-sim bench "swim?hot_frac=0.1&ws_bytes=16M"
@@ -104,7 +107,11 @@ examples:
 
 def _engine_from_args(args) -> Engine:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return Engine(workers=args.workers, cache=cache)
+    return Engine(
+        workers=args.workers,
+        cache=cache,
+        fork_warmup=getattr(args, "fork_warmup", None),
+    )
 
 
 def _print_batch_footer(name: str, engine: Engine, before: tuple, t0: float):
@@ -224,6 +231,15 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        commits_axis = _int_list(args.commits) if args.commits else [None]
+    except ValueError:
+        print(
+            "--commits takes comma-separated integers, e.g. "
+            "--commits 1000,2000,4000",
+            file=sys.stderr,
+        )
+        return 2
     modes = []
     for tok in args.modes.split(","):
         tok = tok.strip()
@@ -273,7 +289,7 @@ def _cmd_sweep(args) -> int:
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
-            commits=args.commits,
+            commits=commits_axis,
             backend=args.backend,
             **_deadlock_overrides(args),
         )
@@ -292,7 +308,7 @@ def _cmd_sweep(args) -> int:
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
-            commits=args.commits,
+            commits=commits_axis,
             backend=args.backend,
             **_deadlock_overrides(args),
         )
@@ -304,18 +320,21 @@ def _cmd_sweep(args) -> int:
             l2_latency=latencies,
             decoupled=modes,
             seed=args.seed,
-            commits_per_thread=args.commits,
+            commits_per_thread=commits_axis,
             backend=args.backend,
             **_deadlock_overrides(args),
         )
     engine = _engine_from_args(args)
     t0 = time.time()
     results = engine.map(sweep)
+    elapsed = round(time.time() - t0, 3)
     doc = {
         "n_runs": results.n_runs,
         "n_cached": results.n_cached,
         "n_executed": results.n_executed,
-        "elapsed_s": round(time.time() - t0, 3),
+        "n_forked": results.n_forked,
+        "warmup_cycles_saved": results.warmup_cycles_saved,
+        "elapsed_s": elapsed,
         "runs": [
             {
                 "label": spec.label(),
@@ -327,6 +346,13 @@ def _cmd_sweep(args) -> int:
         ],
     }
     print(json.dumps(doc, indent=2))
+    print(
+        f"[sweep: {results.n_runs} runs, {results.n_cached} cached, "
+        f"{results.n_executed} simulated, {results.n_forked} forked "
+        f"({results.warmup_cycles_saved} warmup cycles saved), "
+        f"{elapsed:.1f}s]",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -452,8 +478,52 @@ def _cmd_run(args) -> int:
         )
         mode = "non-decoupled" if args.non_decoupled else "decoupled"
         title = f"{args.threads} threads, L2={args.latency}, {mode}"
+    if args.snapshot or args.restore:
+        return _run_with_snapshot(args, spec, title)
     stats = _engine_from_args(args).run(spec)
     print(format_run(stats, title))
+    return 0
+
+
+def _run_with_snapshot(args, spec, title: str) -> int:
+    """``run --snapshot/--restore``: checkpoint the warm-up boundary to a
+    file, or continue a run from one (always freshly simulated — the
+    result cache would defeat the point of exercising the machinery)."""
+    from repro.engine.snapshot import (
+        Snapshot,
+        SnapshotError,
+        capture_warmup,
+        run_tail,
+    )
+
+    if spec.backend != "cycle":
+        print(
+            "--snapshot/--restore need the cycle backend (only it has "
+            "machine state to checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.restore:
+        try:
+            with open(args.restore, "rb") as fh:
+                snap = Snapshot.from_bytes(fh.read())
+            stats = run_tail(spec, snap)
+        except (OSError, SnapshotError) as exc:
+            print(f"--restore {args.restore}: {exc}", file=sys.stderr)
+            return 2
+        print(format_run(stats, f"{title} [restored @{snap.meta['cycle']}]"))
+        return 0
+    snap, proc = capture_warmup(spec)
+    with open(args.snapshot, "wb") as fh:
+        fh.write(snap.to_bytes())
+    print(
+        f"[wrote {args.snapshot}: cycle {snap.meta['cycle']}, "
+        f"warmup_key {snap.meta['warmup_key']}]",
+        file=sys.stderr,
+    )
+    kwargs = spec.run_kwargs()
+    kwargs["warmup_commits"] = 0
+    print(format_run(proc.run(**kwargs), title))
     return 0
 
 
@@ -696,9 +766,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "spec (default: classic), e.g. "
                         "L2.capacity_bytes=256K,1M or prefetch_degree=1,2 "
                         "(repeatable; axes combine as a grid)")
-    p.add_argument("--commits", type=int, default=None,
-                   help="measured-commit budget override (pre-scale, "
-                        "per thread)")
+    p.add_argument("--commits", default=None,
+                   help="comma-separated measured-commit budget overrides "
+                        "(pre-scale, per thread); several values add a "
+                        "grid axis — cells differing only here share a "
+                        "warm-up prefix, so this pairs with --fork-warmup")
+    p.add_argument("--fork-warmup", type=int, default=None, metavar="N",
+                   help="fork cells sharing a warm-up prefix (same "
+                        "workload/seed/machine/warm-up budget) from one "
+                        "warm-up simulation when at least N of them miss "
+                        "the cache (floor 2); results are bit-identical "
+                        "to cold runs, only faster. Snapshots persist in "
+                        "the result cache for later sweeps.")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -713,6 +792,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--non-decoupled", action="store_true")
     p.add_argument("--commits", type=int, default=None,
                    help="measured commits per thread")
+    p.add_argument("--snapshot", default=None, metavar="PATH",
+                   help="checkpoint the machine at the warm-up boundary "
+                        "to PATH (then finish this run normally); feed it "
+                        "back with --restore")
+    p.add_argument("--restore", default=None, metavar="PATH",
+                   help="continue from a --snapshot checkpoint instead of "
+                        "simulating the warm-up (the spec must share the "
+                        "snapshot's warm-up prefix; results are "
+                        "bit-identical to an unbroken run)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(

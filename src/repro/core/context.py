@@ -96,6 +96,59 @@ class ThreadContext:
         """Apply this thread's region-aware address salt."""
         return addr + self._salt_by_region.get(addr >> 26, self.salt)
 
+    # -- snapshot support ----------------------------------------------------------
+
+    #: slots excluded from pickles: trace playlists are large but fully
+    #: deterministic in ``(workload, seed)``, so snapshots keep only the
+    #: cursors (``play_idx``/``pos``) and :meth:`rebind` re-attaches the
+    #: spec-rebuilt playlist after restore.
+    _PICKLE_SKIP = ("playlist", "trace")
+
+    def __getstate__(self) -> dict:
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in self._PICKLE_SKIP
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        # playlist/trace stay unbound until rebind(); touching the context
+        # before then is a bug and fails loudly with AttributeError
+
+    def rebind(self, playlist: list[Trace]) -> None:
+        """Re-attach the (deterministically rebuilt) trace playlist after a
+        snapshot restore; the pickled cursors pick up where capture left."""
+        if len(playlist) <= self.play_idx:
+            raise ValueError(
+                f"thread {self.tid}: restored cursor points at playlist "
+                f"entry {self.play_idx} but the rebuilt playlist has only "
+                f"{len(playlist)} traces"
+            )
+        self.playlist = playlist
+        self.trace = playlist[self.play_idx]
+
+    def fingerprint(self) -> tuple:
+        """Stable structural summary of this context's dynamic state.
+
+        Used by the snapshot bit-identity suite to compare *final machine
+        state* — not just statistics — between an unbroken run and a
+        restored one. Instruction identity is reduced to ``(seq, state)``
+        pairs, which pins pipeline occupancy exactly.
+        """
+        insts = lambda q: tuple((d.seq, d.state) for d in q)  # noqa: E731
+        return (
+            self.tid, self.play_idx, self.pos, self.seq, self.committed,
+            self.last_ap_seq, self.wrong_path, self.unresolved_branches,
+            self.wp_gen.seed, self.wp_gen._pos, len(self.wp_queue),
+            tuple(sorted(self.branch_resume.items())),
+            insts(self.fetch_buf), insts(self.rob),
+            self.aq.fingerprint(), self.iq.fingerprint(),
+            self.uq.fingerprint(), self.saq.fingerprint(),
+            self.rename.fingerprint(), self.bht.fingerprint(),
+        )
+
     # -- trace walking -------------------------------------------------------------
 
     def cur_static(self):

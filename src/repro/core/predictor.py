@@ -45,3 +45,8 @@ class BimodalBHT:
             self.hits += 1
         self.update(pc, taken)
         return pred
+
+    def fingerprint(self) -> tuple:
+        """Complete predictor state (training counters included) for
+        snapshot bit-identity checks."""
+        return (self._mask, bytes(self.table), self.lookups, self.hits)

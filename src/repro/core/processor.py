@@ -68,6 +68,10 @@ class Processor:
         self.cfg = cfg
         self.state = MachineState(cfg, playlists, seed=seed, wrap=wrap)
         self.stages = build_stages(cfg)
+        self._finish_init()
+
+    def _finish_init(self) -> None:
+        """Shared tail of ``__init__`` and :meth:`from_state`."""
         # bound tick methods in pipeline order, resolved once at build
         # time — run()'s inlined cycle loop calls these directly instead
         # of re-resolving six .tick attributes per simulated cycle
@@ -78,6 +82,22 @@ class Processor:
         # modes must produce bit-identical statistics)
         self.ff_jumps = 0
         self.ff_cycles_skipped = 0
+
+    @classmethod
+    def from_state(cls, state: MachineState) -> "Processor":
+        """Adopt an existing (e.g. snapshot-restored) machine state.
+
+        The stage list is rebuilt from ``state.cfg`` — stages are
+        stateless by construction (round-robin pointers and all other
+        dynamic state live in the :class:`MachineState`), so a processor
+        adopted mid-run continues exactly where the state left off.
+        """
+        proc = cls.__new__(cls)
+        proc.cfg = state.cfg
+        proc.state = state
+        proc.stages = build_stages(state.cfg)
+        proc._finish_init()
+        return proc
 
     # -- state passthroughs (the public reading surface predates the
     # -- staged kernel; tests, examples and the tracer all use these) ----------

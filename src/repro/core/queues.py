@@ -62,6 +62,10 @@ class InstQueue:
             n += 1
         return n
 
+    def fingerprint(self) -> tuple:
+        """Occupancy summary for snapshot bit-identity checks."""
+        return (self.capacity, tuple((d.seq, d.state) for d in self.q))
+
 
 class StoreAddressQueue:
     """The per-thread SAQ with an address membership index.
@@ -118,6 +122,14 @@ class StoreAddressQueue:
             self._forget(q.pop())
             n += 1
         return n
+
+    def fingerprint(self) -> tuple:
+        """Occupancy + membership-index summary for snapshot checks."""
+        return (
+            self.capacity,
+            tuple((d.seq, d.state, d.static.addr) for d in self.q),
+            tuple(sorted(self._addr_count.items())),
+        )
 
     def find_older_match(self, addr: int, seq: int) -> DynInst | None:
         """Youngest store older than ``seq`` with the same word address, or

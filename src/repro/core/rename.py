@@ -116,6 +116,21 @@ class RenameFile:
         if p >= 0:
             self.producer[p] = inst
 
+    def fingerprint(self) -> tuple:
+        """Complete rename state for snapshot bit-identity checks.
+
+        Free-list *order* is part of the fingerprint: allocation order
+        determines which physical ids future renames hand out, so two
+        machines with equal sets but different orderings would diverge.
+        Producers reduce to instruction seq ids (object identity is a
+        process-local accident; seq is the stable name).
+        """
+        return (
+            self.ap_regs, self.ep_regs, tuple(self.map),
+            tuple(self.free_ap), tuple(self.free_ep), bytes(self.ready),
+            tuple(d.seq if d is not None else None for d in self.producer),
+        )
+
     # -- invariant checks (used by tests) ------------------------------------------
 
     def check_invariants(self) -> None:

@@ -101,3 +101,47 @@ class MachineState:
     def next_event_cycle(self) -> int | None:
         """Cycle of the earliest pending completion, or ``None``."""
         return self.events[0][0] if self.events else None
+
+    # -- snapshot support --------------------------------------------------------
+
+    def rebind_playlists(self, playlists: list[list[Trace]]) -> None:
+        """Re-attach spec-rebuilt trace playlists after unpickling.
+
+        Snapshots exclude the (multi-megabyte, deterministically
+        regenerable) playlists and keep only each context's cursors; this
+        is the restore-side half of that contract.  In-flight
+        :class:`DynInst` objects carry their own pickled ``StaticInst``
+        copies, and nothing in the pipeline compares those against trace
+        entries by identity, so content-equal rebuilt traces suffice.
+        """
+        if len(playlists) != len(self.threads):
+            raise ValueError(
+                f"snapshot has {len(self.threads)} thread contexts but "
+                f"{len(playlists)} playlists were provided"
+            )
+        for ctx, playlist in zip(self.threads, playlists):
+            ctx.rebind(playlist)
+
+    def fingerprint(self) -> tuple:
+        """Stable summary of the *complete* dynamic machine state.
+
+        The snapshot differential suite compares this (alongside the
+        statistics) between an unbroken run and a restored one: equal
+        fingerprints mean the two machines would also agree on every
+        future cycle, which is a strictly stronger guarantee than equal
+        ``SimStats``.  Event-heap entries are reduced to
+        ``(cycle, evseq, inst.seq, inst.thread)`` in sorted order — heap
+        layout is pop-order-equivalent, and instruction identity is
+        process-local.
+        """
+        return (
+            self.cycle, self.total_committed, self.evseq,
+            self.rr_issue, self.rr_dispatch, self.last_commit_cycle,
+            self.finite,
+            tuple(sorted(
+                (cyc, seq, inst.seq, inst.thread)
+                for cyc, seq, inst in self.events
+            )),
+            tuple(t.fingerprint() for t in self.threads),
+            self.mem.fingerprint(),
+        )

@@ -17,7 +17,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.engine.spec import RunSpec
+from repro.engine.spec import SPEC_VERSION, RunSpec
 from repro.stats.counters import SimStats
 
 #: overrides the default cache location
@@ -51,12 +51,21 @@ class ResultCache:
         JSON document whose root is not an object (``AttributeError`` from
         ``entry.get``), or a malformed ``stats`` payload — reads as a
         miss; the next ``put`` simply overwrites it.
+
+        Entries also embed the :data:`~repro.engine.spec.SPEC_VERSION`
+        that produced them, and a mismatch (or its absence, for entries
+        written before it was recorded) is a miss.  The version is already
+        part of the hashed filename, so this is belt-and-braces: it
+        catches entries whose key collided across a version bump or whose
+        payload was copied between cache directories by hand.
         """
         path = self.path_for(spec)
         try:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
             if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT:
+                return None
+            if entry.get("spec_version") != SPEC_VERSION:
                 return None
             return SimStats.from_dict(entry["stats"])
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
@@ -68,6 +77,7 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": CACHE_FORMAT,
+            "spec_version": SPEC_VERSION,
             "key": spec.key(),
             "spec": spec.to_dict(),
             "stats": stats.to_dict(),
@@ -76,6 +86,43 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- warm-up snapshots --------------------------------------------------------
+    # Snapshots live beside the result entries, addressed by the specs'
+    # shared warmup_key and stored with a ``.snap`` suffix so ``__len__``
+    # (which counts ``*.json``) and result lookups never see them.
+
+    def snapshot_path(self, warmup_key: str) -> Path:
+        return self.root / f"{warmup_key}.snap"
+
+    def get_snapshot(self, warmup_key: str) -> bytes | None:
+        """The serialized snapshot for ``warmup_key``, or ``None``.
+
+        Returns raw bytes; the caller validates through
+        :meth:`repro.engine.snapshot.Snapshot.from_bytes`, which rejects
+        stale formats/spec versions — callers treat that as a miss too.
+        """
+        try:
+            return self.snapshot_path(warmup_key).read_bytes()
+        except OSError:
+            return None
+
+    def put_snapshot(self, warmup_key: str, data: bytes) -> Path:
+        """Store one serialized snapshot atomically."""
+        path = self.snapshot_path(warmup_key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:

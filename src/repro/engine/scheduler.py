@@ -11,6 +11,19 @@ therefore byte-identical for any worker count.
 Worker processes receive plain dicts (``RunSpec.to_dict``) and return
 plain dicts (``SimStats.to_dict``), the same representation the cache
 stores, so results cross process boundaries without bespoke pickling.
+
+**Forked sweeps.** With ``fork_warmup=N`` the engine additionally
+partitions the cycle-backend misses by
+:meth:`~repro.engine.spec.RunSpec.warmup_key` — the hash of everything
+that shapes the machine through the warm-up boundary.  Cells sharing a
+key evolve identically until measurement starts, so each group's warm-up
+is simulated **once**, snapshotted (:mod:`repro.engine.snapshot`), and
+every other cell restores the snapshot and simulates only its divergent
+measured tail.  Results stay byte-identical to cold runs (the snapshot
+bit-identity differential suite is the gate); only the wall clock
+changes.  Snapshots are content-addressed in the :class:`ResultCache`
+beside the results, so a later invocation sweeping new measured budgets
+over an already-warmed prefix forks without paying any warm-up at all.
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ from __future__ import annotations
 import copy
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
 from typing import Iterable
 
 from repro.engine.backends import get_backend
@@ -48,13 +62,56 @@ def _execute_payload(spec_dict: dict) -> dict:
     return RunSpec.from_dict(spec_dict).execute().to_dict()
 
 
+def _warmup_payload(spec_dict: dict) -> tuple[bytes, dict]:
+    """Worker-side fork-group leader: pay the group's shared warm-up once,
+    snapshot the boundary, then run this spec's own measured tail.
+
+    Returns ``(snapshot_bytes, stats_dict)`` — the leader's result is
+    bit-identical to a cold ``execute()`` because capture is
+    non-destructive and the continued run resolves the same budgets.
+    """
+    from repro.engine.snapshot import capture_warmup
+
+    spec = RunSpec.from_dict(spec_dict)
+    snap, proc = capture_warmup(spec)
+    kwargs = spec.run_kwargs()
+    kwargs["warmup_commits"] = 0
+    stats = proc.run(**kwargs)
+    return snap.to_bytes(), stats.to_dict()
+
+
+def _tail_payload(
+    spec_dict: dict, snap_path: str | None, snap_bytes: bytes | None
+) -> dict:
+    """Worker-side fork follower: restore the group snapshot (from the
+    cache file when one exists, else from inlined bytes) and simulate
+    only this spec's measured tail."""
+    from repro.engine.snapshot import Snapshot, run_tail
+
+    data = snap_bytes if snap_bytes is not None else Path(snap_path).read_bytes()
+    snap = Snapshot.from_bytes(data)
+    return run_tail(RunSpec.from_dict(spec_dict), snap).to_dict()
+
+
 class SweepResult(dict):
     """``RunSpec -> SimStats`` in submission order, plus hit/miss counts."""
 
-    def __init__(self, items, n_cached: int = 0, n_executed: int = 0):
+    def __init__(
+        self,
+        items,
+        n_cached: int = 0,
+        n_executed: int = 0,
+        n_forked: int = 0,
+        warmup_cycles_saved: int = 0,
+    ):
         super().__init__(items)
         self.n_cached = n_cached
         self.n_executed = n_executed
+        #: cells that restored a warm-up snapshot instead of simulating
+        #: their own warm-up region
+        self.n_forked = n_forked
+        #: simulated warm-up cycles those restores skipped, summed
+        self.warmup_cycles_saved = warmup_cycles_saved
 
     @property
     def n_runs(self) -> int:
@@ -68,17 +125,30 @@ class Engine:
     each ``map`` call; ``workers=1`` executes serially in-process.
     ``cache=None`` disables persistence (an in-memory memo still dedupes
     repeat specs within this engine's lifetime).
+
+    ``fork_warmup=N`` enables forked sweeps: cycle-backend misses sharing
+    a :meth:`~repro.engine.spec.RunSpec.warmup_key` in groups of at least
+    ``N`` (floor 2) simulate their common warm-up once and fork the
+    measured tails from a snapshot; a group of any size forks when the
+    cache already holds its warm-up snapshot.  ``fork_warmup=None``
+    (default) keeps every cell cold.
     """
 
     def __init__(
-        self, workers: int | None = None, cache: ResultCache | None = None
+        self,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        fork_warmup: int | None = None,
     ):
         self.workers = workers
         self.cache = cache
+        self.fork_warmup = fork_warmup
         self._memo: dict[RunSpec, SimStats] = {}
         # lifetime totals, summed over every map() call
         self.n_cached = 0
         self.n_executed = 0
+        self.n_forked = 0
+        self.warmup_cycles_saved = 0
 
     @classmethod
     def serial(cls) -> "Engine":
@@ -104,6 +174,10 @@ class Engine:
             else:
                 misses.append(spec)
 
+        n_miss = len(misses)
+        n_forked = cycles_saved = 0
+        if misses and self.fork_warmup:
+            misses, n_forked, cycles_saved = self._map_forked(misses, done)
         if misses:
             # Backends whose per-run cost is microseconds (the analytic
             # model) run in this process: a worker pool would spend far
@@ -121,13 +195,17 @@ class Engine:
             for spec in inline:
                 done[spec] = self._record(spec, spec.execute())
 
-        n_cached = len(unique) - len(misses)
+        n_cached = len(unique) - n_miss
         self.n_cached += n_cached
-        self.n_executed += len(misses)
+        self.n_executed += n_miss
+        self.n_forked += n_forked
+        self.warmup_cycles_saved += cycles_saved
         return SweepResult(
             ((spec, done[spec]) for spec in unique),
             n_cached=n_cached,
-            n_executed=len(misses),
+            n_executed=n_miss,
+            n_forked=n_forked,
+            warmup_cycles_saved=cycles_saved,
         )
 
     def run(self, spec: RunSpec) -> SimStats:
@@ -135,6 +213,121 @@ class Engine:
         return self.map([spec])[spec]
 
     # -- internals ---------------------------------------------------------------
+
+    def _map_forked(
+        self, misses: list[RunSpec], done: dict[RunSpec, SimStats]
+    ) -> tuple[list[RunSpec], int, int]:
+        """Execute the forkable warm-up groups among ``misses``.
+
+        Returns ``(remaining_misses, n_forked, warmup_cycles_saved)`` —
+        specs that cannot fork (wrong backend, no warm-up, group too
+        small with no cached snapshot) pass through untouched for the
+        ordinary cold path.
+        """
+        from repro.engine.snapshot import Snapshot, SnapshotError
+
+        groups: dict[str, list[RunSpec]] = {}
+        plain: list[RunSpec] = []
+        for spec in misses:
+            if (
+                spec.backend == "cycle"
+                and spec.run_kwargs()["warmup_commits"] > 0
+            ):
+                groups.setdefault(spec.warmup_key(), []).append(spec)
+            else:
+                plain.append(spec)
+
+        threshold = max(2, int(self.fork_warmup))
+        snaps: dict[str, Snapshot] = {}
+        warm: list[tuple[str, RunSpec]] = []   # groups needing a fresh warm-up
+        tails: list[tuple[RunSpec, str]] = []  # cells that restore a snapshot
+        for key, members in groups.items():
+            snap = None
+            if self.cache is not None:
+                data = self.cache.get_snapshot(key)
+                if data is not None:
+                    try:
+                        snap = Snapshot.from_bytes(data)
+                    except SnapshotError:
+                        snap = None  # stale format/version: re-warm
+            if snap is not None:
+                snaps[key] = snap
+                tails.extend((s, key) for s in members)
+            elif len(members) >= threshold:
+                # the leader pays the warm-up (and runs its own tail in
+                # the same process); the rest fork from its snapshot
+                warm.append((key, members[0]))
+                tails.extend((s, key) for s in members[1:])
+            else:
+                plain.extend(members)
+
+        n_workers = min(resolve_workers(self.workers), len(warm) + len(tails))
+        if n_workers > 1:
+            self._fork_parallel(warm, tails, snaps, done, n_workers)
+        else:
+            self._fork_serial(warm, tails, snaps, done)
+
+        cycles_saved = sum(snaps[key].meta["cycle"] for _, key in tails)
+        return plain, len(tails), cycles_saved
+
+    def _save_snapshot(self, key: str, data: bytes) -> None:
+        if self.cache is not None:
+            self.cache.put_snapshot(key, data)
+
+    def _fork_serial(self, warm, tails, snaps, done) -> None:
+        from repro.engine.snapshot import capture_warmup, run_tail
+
+        for key, leader in warm:
+            snap, proc = capture_warmup(leader)
+            kwargs = leader.run_kwargs()
+            kwargs["warmup_commits"] = 0
+            done[leader] = self._record(leader, proc.run(**kwargs))
+            snaps[key] = snap
+            self._save_snapshot(key, snap.to_bytes())
+        for spec, key in tails:
+            done[spec] = self._record(spec, run_tail(spec, snaps[key]))
+
+    def _fork_parallel(self, warm, tails, snaps, done, n_workers) -> None:
+        from repro.engine.snapshot import Snapshot
+
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            # phase 1: fresh warm-ups, one leader per group (each also
+            # produces its own cell's result)
+            futures = {
+                pool.submit(_warmup_payload, leader.to_dict()): (key, leader)
+                for key, leader in warm
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    key, leader = futures[fut]
+                    data, stats_dict = fut.result()
+                    done[leader] = self._record(
+                        leader, SimStats.from_dict(stats_dict)
+                    )
+                    snaps[key] = Snapshot.from_bytes(data)
+                    self._save_snapshot(key, data)
+            # phase 2: every other cell restores and runs only its tail;
+            # workers read the snapshot from the cache file when there is
+            # one (pickling a path beats pickling megabytes per cell)
+            futures = {}
+            for spec, key in tails:
+                if self.cache is not None:
+                    ref = (str(self.cache.snapshot_path(key)), None)
+                else:
+                    ref = (None, snaps[key].to_bytes())
+                futures[
+                    pool.submit(_tail_payload, spec.to_dict(), *ref)
+                ] = spec
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    spec = futures[fut]
+                    done[spec] = self._record(
+                        spec, SimStats.from_dict(fut.result())
+                    )
 
     def _record(self, spec: RunSpec, stats: SimStats) -> SimStats:
         self._memo[spec] = copy.deepcopy(stats)  # isolate from the caller

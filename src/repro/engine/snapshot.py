@@ -1,0 +1,188 @@
+"""Checkpoint/restore: full-fidelity machine snapshots and forking.
+
+A :class:`Snapshot` freezes a mid-run cycle machine — the complete
+:class:`~repro.core.state.MachineState`: every thread context (rename
+files, queues, ROB, predictor, wrong-path generator cursor), the composed
+memory hierarchy (tag/LRU/dirty arrays, MSHR occupancy, bus schedule,
+prefetcher training state) and the in-flight completion-event heap — and
+restores it **bit-identically**: running a restored machine to completion
+produces exactly the statistics and final machine state an unbroken run
+would have (``tests/test_snapshot.py`` gates this differentially, the
+same way the idle-cycle fast-forward is gated).
+
+What is *not* serialized, and why that is safe:
+
+* **Trace playlists** — multi-megabyte but fully deterministic in
+  ``(workload, seed)`` (crc32-derived RNG seeding in
+  :mod:`repro.workloads.synth`), so contexts pickle only their cursors
+  and :meth:`restore` re-synthesises the playlists from the spec.
+* **Wrong-path pools** — a pure function of the per-thread seed
+  (:class:`~repro.workloads.wrongpath.WrongPathGenerator` rebuilds them
+  lazily); only the cyclic-stream cursor is state.
+* **Fast-path closures** — the spec-specialized ``load``/``store``
+  installed by :mod:`repro.memory.fastpath` capture live arrays and
+  cannot cross a pickle; the facade drops them and re-specializes over
+  the restored arrays, so a snapshot even restores correctly *across*
+  ``REPRO_GENERIC_MEM`` settings (the two paths are bit-identical by
+  contract).
+
+The payload is a zlib-compressed highest-protocol pickle behind a JSON
+meta header (format, spec version, capture cycle, fork key).  Snapshots
+interoperate only within one :data:`SNAPSHOT_FORMAT` /
+:data:`~repro.engine.spec.SPEC_VERSION` pair — a mismatch reads as
+:class:`SnapshotError`, which cache layers treat as a miss.
+
+Forking (the scheduler's warmup amortization) builds on two helpers:
+:func:`capture_warmup` runs a spec's warm-up region once and snapshots at
+the measured-region boundary; :func:`run_tail` restores that snapshot
+under any spec sharing the same :meth:`~repro.engine.spec.RunSpec.
+warmup_key` and simulates only the divergent measured region.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import zlib
+
+from repro.core.processor import Processor
+from repro.core.state import MachineState
+from repro.engine.spec import SPEC_VERSION, RunSpec
+from repro.stats.counters import SimStats
+
+#: bump when the snapshot payload layout changes incompatibly
+SNAPSHOT_FORMAT = 1
+
+_MAGIC = b"repro-snap\n"
+
+
+class SnapshotError(ValueError):
+    """A snapshot could not be parsed or does not match the given spec."""
+
+
+class Snapshot:
+    """One frozen machine state, with enough metadata to validate reuse."""
+
+    __slots__ = ("meta", "payload")
+
+    def __init__(self, meta: dict, payload: bytes):
+        self.meta = meta
+        self.payload = payload
+
+    # -- capture ----------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, proc: Processor, spec: RunSpec | None = None) -> "Snapshot":
+        """Freeze ``proc``'s complete machine state (non-destructively:
+        the processor keeps running unaffected).
+
+        ``spec`` stamps the snapshot with the spec's identity and fork
+        key so :meth:`restore` can refuse a mismatched reuse; omit it
+        only for ad-hoc captures of hand-built machines.
+        """
+        payload = zlib.compress(
+            pickle.dumps(proc.state, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        meta = {
+            "format": SNAPSHOT_FORMAT,
+            "spec_version": SPEC_VERSION,
+            "spec_key": spec.key() if spec is not None else None,
+            "warmup_key": spec.warmup_key() if spec is not None else None,
+            "cycle": proc.state.cycle,
+            "total_committed": proc.state.total_committed,
+            "ff_jumps": proc.ff_jumps,
+            "ff_cycles_skipped": proc.ff_cycles_skipped,
+        }
+        return cls(meta, payload)
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        header = json.dumps(self.meta, sort_keys=True).encode("utf-8")
+        return _MAGIC + header + b"\n" + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Snapshot":
+        """Parse a serialized snapshot (header only — the pickled state
+        stays compressed until :meth:`restore` needs it)."""
+        if not data.startswith(_MAGIC):
+            raise SnapshotError("not a repro-sim snapshot (bad magic)")
+        try:
+            header, payload = data[len(_MAGIC):].split(b"\n", 1)
+            meta = json.loads(header.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SnapshotError(f"corrupt snapshot header: {exc}") from None
+        if not isinstance(meta, dict) or meta.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"snapshot format {meta.get('format')!r} != "
+                f"{SNAPSHOT_FORMAT} (incompatible writer)"
+            )
+        if meta.get("spec_version") != SPEC_VERSION:
+            raise SnapshotError(
+                f"snapshot spec_version {meta.get('spec_version')!r} != "
+                f"{SPEC_VERSION} (stale semantics)"
+            )
+        return cls(meta, payload)
+
+    # -- restore ----------------------------------------------------------------
+
+    def restore(self, spec: RunSpec) -> Processor:
+        """Thaw a fresh, independent :class:`Processor` continuing from
+        this snapshot under ``spec``.
+
+        ``spec`` must share the snapshot's fork key (everything that
+        shapes the machine up to the capture point: workload, seed,
+        machine/memory configuration, warm-up budget, scale); only the
+        measured-region budget may differ.  Each call unpickles its own
+        state, so one snapshot can fan out to many diverging tails.
+        """
+        want = self.meta.get("warmup_key")
+        if want is not None and spec.warmup_key() != want:
+            raise SnapshotError(
+                f"snapshot was captured for warmup_key {want} but "
+                f"{spec.label()!r} has {spec.warmup_key()} — the specs "
+                "diverge before the capture point"
+            )
+        state = pickle.loads(zlib.decompress(self.payload))
+        if not isinstance(state, MachineState):
+            raise SnapshotError(
+                f"snapshot payload is {type(state).__name__}, "
+                "not a MachineState"
+            )
+        state.rebind_playlists(spec.playlists())
+        proc = Processor.from_state(state)
+        proc.ff_jumps = self.meta.get("ff_jumps", 0)
+        proc.ff_cycles_skipped = self.meta.get("ff_cycles_skipped", 0)
+        return proc
+
+
+# -- forking helpers (the scheduler's warmup amortization) ----------------------
+
+
+def capture_warmup(spec: RunSpec) -> tuple[Snapshot, Processor]:
+    """Simulate ``spec``'s warm-up region once and snapshot the machine
+    at the measured-region boundary (statistics freshly zeroed, exactly
+    the state an unbroken run would measure from).
+
+    Returns ``(snapshot, processor)`` — the live processor can keep
+    running its own measured region (capture is non-destructive), so the
+    cell that paid for the warm-up need not pay again to restore.
+    """
+    proc, kwargs = spec.instantiate()
+    warmup = kwargs.get("warmup_commits", 0)
+    if warmup:
+        proc.run(max_commits=warmup, max_cycles=None)
+        proc.reset_stats()
+    return Snapshot.capture(proc, spec=spec), proc
+
+
+def run_tail(spec: RunSpec, snap: Snapshot) -> SimStats:
+    """Execute only ``spec``'s measured region, continuing from ``snap``.
+
+    Bit-identical to ``spec.execute()`` when the snapshot sits at the
+    spec's own warm-up boundary (the differential suite's core claim).
+    """
+    proc = snap.restore(spec)
+    kwargs = spec.run_kwargs()
+    kwargs["warmup_commits"] = 0
+    return proc.run(**kwargs)

@@ -282,6 +282,25 @@ class RunSpec:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
+    def warmup_key(self) -> str:
+        """Stable hash of everything that shapes the machine *through the
+        warm-up boundary* — the fork key of the checkpoint subsystem.
+
+        Two specs with equal warmup keys are guaranteed to evolve
+        cycle-identically from reset to the end of warm-up: the measured
+        commit budget is the **only** spec field that first takes effect
+        after that boundary, so it is the only field masked out.  The
+        scheduler groups sweep cells by this key, simulates the shared
+        warm-up once, and forks each cell's measured tail from the
+        snapshot (see :mod:`repro.engine.snapshot`).
+        """
+        payload = json.dumps(
+            {"spec_version": SPEC_VERSION, **self.to_dict(), "commits": None},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
     def label(self) -> str:
         """Short human-readable description for logs and JSON output."""
         mode = "dec" if self.decoupled else "non-dec"
@@ -324,6 +343,19 @@ class RunSpec:
         """One trace playlist per hardware context (cached trace objects)."""
         return self.workload.playlists(seed=self.seed)
 
+    def run_kwargs(self) -> dict:
+        """The resolved ``Processor.run`` arguments for this spec.
+
+        Shared by :meth:`instantiate` and the snapshot-restore tail path
+        (which zeroes ``warmup_commits`` after restoring at the warm-up
+        boundary) so budget resolution can never drift between them.
+        """
+        commits, warmup = self.budgets()
+        max_cycles = 8_000_000 if self.workload.n_threads == 1 else 4_000_000
+        return dict(
+            max_commits=commits, warmup_commits=warmup, max_cycles=max_cycles
+        )
+
     def instantiate(self) -> tuple:
         """Build the configured machine and its run budgets.
 
@@ -337,12 +369,8 @@ class RunSpec:
         from repro.core.processor import Processor
 
         cfg = self.machine_config()
-        commits, warmup = self.budgets()
         proc = Processor(cfg, self.playlists(), seed=self.seed)
-        max_cycles = 8_000_000 if self.workload.n_threads == 1 else 4_000_000
-        return proc, dict(
-            max_commits=commits, warmup_commits=warmup, max_cycles=max_cycles
-        )
+        return proc, self.run_kwargs()
 
     def with_backend(self, backend: str) -> "RunSpec":
         """This spec re-targeted at another backend (new cache identity)."""

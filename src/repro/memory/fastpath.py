@@ -140,3 +140,26 @@ def build_fastpath(mem):
         return _access(addr, now, True)
 
     return load, store
+
+
+def respecialize(mem) -> bool:
+    """(Re)install the fast-path closures on ``mem``; returns whether the
+    shape qualified.
+
+    Used after unpickling a snapshot: instance-level closures cannot
+    cross a pickle, so :class:`~repro.memory.hierarchy.MemorySystem`
+    drops them in ``__getstate__`` and calls this from ``__setstate__``.
+    Rebuilding is safe because the closures capture the *restored* tag,
+    MSHR and bus objects directly — they resume bit-identically from
+    whatever state the snapshot carried.  Eligibility is re-evaluated in
+    the restoring process, so a snapshot taken with the fast path active
+    restores onto the generic interpreter under ``REPRO_GENERIC_MEM=1``
+    (and vice versa) — legal precisely because the two are bit-identical.
+    """
+    fast = build_fastpath(mem)
+    if fast is not None:
+        mem.load, mem.store = fast
+        mem.specialized = True
+    else:
+        mem.specialized = False
+    return mem.specialized

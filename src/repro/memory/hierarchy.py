@@ -78,6 +78,14 @@ class _OuterLevel:
         self.misses = 0
         self.writebacks = 0
 
+    def fingerprint(self) -> tuple:
+        """Tag store + MSHR + bank schedule state for snapshot checks."""
+        return (
+            self.name, self.store.fingerprint(), self.mshrs.fingerprint(),
+            tuple(self.bank_free) if self.bank_free is not None else None,
+            self.hits, self.misses, self.writebacks,
+        )
+
     def bank_delay(self, line: int, now: int) -> int:
         """Eager FIFO bank arbitration: one access per bank per cycle
         (``banks == 0`` models the paper's conflict-free multibanking)."""
@@ -145,6 +153,7 @@ class MemorySystem:
         # generic methods below (which remain the differential reference
         # and the fallback for exotic stacks).
         self.specialized = False
+        self._specialize = specialize
         if specialize:
             from repro.memory.fastpath import build_fastpath
 
@@ -152,6 +161,25 @@ class MemorySystem:
             if fast is not None:
                 self.load, self.store = fast
                 self.specialized = True
+
+    # -- snapshot support --------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the instance-level ``load``/``store`` closures (functions
+        capturing live cache arrays cannot cross a pickle); everything
+        they capture *is* pickled, so ``__setstate__`` rebuilds them."""
+        state = self.__dict__.copy()
+        state.pop("load", None)
+        state.pop("store", None)
+        state["specialized"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if state.get("_specialize", True):
+            from repro.memory.fastpath import respecialize
+
+            respecialize(self)
 
     @classmethod
     def classic(
@@ -393,6 +421,22 @@ class MemorySystem:
 
     def bus_utilization(self, elapsed_cycles: int) -> float:
         return self.bus.utilization(elapsed_cycles)
+
+    def fingerprint(self) -> tuple:
+        """Complete dynamic state of the hierarchy for snapshot checks:
+        every tag array, MSHR file, the bus schedule, prefetcher training
+        state and all traffic counters — if any of it differed between a
+        restored machine and the original, future timing could too."""
+        bus = self.bus
+        return (
+            tuple(l1.fingerprint() for l1 in self._l1s),
+            self.mshrs.fingerprint(),
+            (bus.free_at, bus.busy_cycles, bus._stats_floor),
+            tuple(lvl.fingerprint() for lvl in self.outer),
+            self.prefetcher.fingerprint(),
+            (self.fills, self.writebacks, self.blocked_requests,
+             self.prefetch_fills, self.prefetch_hits, self.prefetch_dropped),
+        )
 
     def level_stats(self) -> dict[str, dict[str, int]]:
         """Per-outer-level traffic of the demand fill stream (JSON-safe):

@@ -118,6 +118,13 @@ class L1Cache:
             self.pending[i] = 0
             self.prefetched[i] = 0
 
+    def fingerprint(self) -> tuple:
+        """Complete tag-array state for snapshot bit-identity checks."""
+        return (
+            tuple(self.tags), bytes(self.dirty), tuple(self.pending),
+            bytes(self.prefetched),
+        )
+
 
 class CacheLevel:
     """Finite set-associative outer level (LRU), optionally partitioned.
@@ -187,6 +194,14 @@ class CacheLevel:
         s.insert(0, [line, dirty])
         return victim_dirty
 
+    def fingerprint(self) -> tuple:
+        """Tag/dirty/LRU state (recency order included) for snapshot
+        bit-identity checks."""
+        return tuple(
+            tuple(tuple((e[0], bool(e[1])) for e in s) for s in part)
+            for part in self._sets
+        )
+
 
 class InfiniteLevel:
     """The paper's infinite multibanked L2: every access hits."""
@@ -199,6 +214,9 @@ class InfiniteLevel:
 
     def install(self, line: int, tid: int = 0, dirty: bool = False) -> bool:
         return False
+
+    def fingerprint(self) -> tuple:
+        return ()
 
 
 class MSHRFile:
@@ -245,3 +263,15 @@ class MSHRFile:
     @property
     def outstanding(self) -> int:
         return self.in_use
+
+    def fingerprint(self) -> tuple:
+        """Occupancy + pending-release schedule for snapshot checks.
+
+        The release heap is compared in sorted order: heap layout depends
+        on insertion history, but drain order — the only thing the model
+        observes — depends only on the multiset of release cycles.
+        """
+        return (
+            self.count, self.in_use, tuple(sorted(self._releases)),
+            self.alloc_failures,
+        )

@@ -37,6 +37,15 @@ class Prefetcher:
     ) -> None:
         """Called after a demand primary miss started its fill."""
 
+    def fingerprint(self) -> tuple:
+        """Dynamic predictor state for snapshot bit-identity checks.
+
+        The base prefetcher (and next-line, whose only state is its
+        configured degree) is stateless; stateful prefetchers override
+        this so a restored machine provably carries their training state.
+        """
+        return (self.name,)
+
 
 class NextLinePrefetcher(Prefetcher):
     """On a demand miss of line ``X``, fetch ``X+1 .. X+degree``."""
@@ -76,6 +85,17 @@ class StreamPrefetcher(Prefetcher):
         if ascending:
             for d in range(1, self.degree + 1):
                 mem.try_prefetch(line + d, now, tid)
+
+    def fingerprint(self) -> tuple:
+        """Per-thread recent-miss tables, insertion order included (the
+        LRU eviction point depends on it)."""
+        return (
+            self.name, self.degree, self.table_size,
+            tuple(
+                (tid, tuple(table))
+                for tid, table in sorted(self._recent.items())
+            ),
+        )
 
 
 def build_prefetcher(spec) -> Prefetcher:

@@ -91,6 +91,15 @@ def format_perf(doc: dict) -> str:
             f"{head['wall_s_stepping']:.2f}s -> speedup {head['speedup']:.2f}x "
             f"(stats bit-identical: {head['bit_identical']})"
         )
+    fs = doc.get("forked_sweep")
+    if fs:
+        out.append(
+            f"forked sweep ({fs['n_cells']} warm-dominated cells): cold "
+            f"{fs['wall_s_cold']:.2f}s vs forked {fs['wall_s_forked']:.2f}s "
+            f"-> speedup {fs['speedup']:.2f}x, {fs['n_forked']} cells "
+            f"forked, {fs['warmup_cycles_saved']} warm-up cycles saved "
+            f"(per-cell results identical: {fs['identical']})"
+        )
     for name, m in sorted(doc.get("workloads", {}).items()):
         if m.get("profile"):
             out.append(

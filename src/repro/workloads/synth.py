@@ -131,6 +131,19 @@ class _LoadSlot:
         self.fdest = fdest
 
 
+def synth_seed(name: str, seed: int) -> int:
+    """The RNG seed a synthesizer derives for ``(benchmark, seed)``.
+
+    zlib.crc32, not ``hash()``: str hashing is salted per process, which
+    would make traces (and every simulation result) differ between
+    invocations and across scheduler worker processes.  The checkpoint
+    subsystem leans on the same property — snapshots exclude trace
+    playlists entirely and re-synthesize them at restore time, which is
+    only sound because this derivation is stable across processes.
+    """
+    return (zlib.crc32(name.encode("utf-8")) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
 class KernelSynthesizer:
     """Emit a synthetic trace for one benchmark profile.
 
@@ -141,13 +154,8 @@ class KernelSynthesizer:
 
     def __init__(self, profile: BenchProfile, seed: int = 0):
         self.profile = profile
-        # zlib.crc32, not hash(): str hashing is salted per process, which
-        # would make traces (and every simulation result) differ between
-        # invocations and across scheduler worker processes
         name_hash = zlib.crc32(profile.name.encode("utf-8"))
-        self.rng = random.Random(
-            (name_hash ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
-        )
+        self.rng = random.Random(synth_seed(profile.name, seed))
         self.code_base = 0x400000 + (name_hash % 64) * 0x10000
         # gather index arrays: resident codes keep them inside the 4 KB
         # index zone; others stream (folded) at the benchmark's scale

@@ -20,6 +20,12 @@ faithful model: a real wrong path falls into *adjacent, already-existing*
 code, so re-encountering the same instructions (and the same load
 addresses) on later mispredictions is exactly what happens in hardware —
 an endless stream of fresh random instructions is not.
+
+The pool is a *pure function of the seed*: :meth:`_build_pool` draws from
+a fresh ``random.Random(seed)`` every time, so the generator's complete
+dynamic state is ``(seed, _pos)``.  Machine snapshots rely on this —
+pickling drops the (identically rebuildable) pool and keeps only the
+cursor, and a restored generator regenerates the exact same stream.
 """
 
 from __future__ import annotations
@@ -51,15 +57,37 @@ class WrongPathGenerator:
 
     def __init__(self, seed: int, data_base: int = HOT_BASE,
                  data_span: int = 2 * 1024):
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.data_base = data_base
         self.data_span = data_span
         self._pool: list[StaticInst] | None = None
         self._pos = 0
 
+    def __getstate__(self) -> dict:
+        """Snapshot support: the pool is rebuilt from the seed on demand,
+        so only the seed, the layout knobs and the cursor are state."""
+        return {
+            "seed": self.seed,
+            "data_base": self.data_base,
+            "data_span": self.data_span,
+            "_pos": self._pos,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.seed = state["seed"]
+        self.data_base = state["data_base"]
+        self.data_span = state["data_span"]
+        self._pool = None
+        self._pos = state["_pos"]
+
     def _build_pool(self) -> list[StaticInst]:
-        """Synthesise one PC-wrap period of wrong-path instructions."""
-        rng = self.rng
+        """Synthesise one PC-wrap period of wrong-path instructions.
+
+        Deterministic in ``self.seed`` alone: the RNG is created fresh
+        here, so a generator restored from a snapshot (which carries no
+        pool) rebuilds byte-for-byte the pool it was using before.
+        """
+        rng = random.Random(self.seed)
         pool = []
         pc = _WP_PC_BASE
         for _ in range(self._POOL_SIZE):

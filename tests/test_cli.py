@@ -145,6 +145,74 @@ class TestSweepCommand:
         overrides = doc["runs"][0]["spec"]["config_overrides"]
         assert overrides["deadlock_cycles"] == 77777
 
+    def test_commits_axis_expands_grid(self, capsys):
+        assert main(["sweep", "--threads", "1", "--latencies", "16",
+                     "--commits", "1000,1500", "--no-cache"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 2
+        assert [r["spec"]["commits"] for r in doc["runs"]] == [1000, 1500]
+
+    def test_rejects_malformed_commits(self, capsys):
+        assert main(["sweep", "--commits", "10x0"]) == 2
+        assert "--commits" in capsys.readouterr().err
+
+    def test_fork_warmup_bit_identical_and_counted(self, capsys):
+        cold_args = ["sweep", "--threads", "2", "--latencies", "16",
+                     "--commits", "800,1200,1600", "--no-cache"]
+        assert main(cold_args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(cold_args + ["--fork-warmup", "2"]) == 0
+        captured = capsys.readouterr()
+        forked = json.loads(captured.out)
+        assert forked["n_forked"] == 2
+        assert forked["warmup_cycles_saved"] > 0
+        # the summary line reports the fork counters on stderr
+        assert "2 forked" in captured.err
+        assert "warmup cycles saved" in captured.err
+        # per-cell results are byte-identical to the cold sweep
+        for run_cold, run_forked in zip(cold["runs"], forked["runs"]):
+            assert run_forked["stats"] == run_cold["stats"]
+
+
+class TestSnapshotFlags:
+    """run --snapshot / --restore (the checkpoint subsystem's CLI face)."""
+
+    _ARGS = ["run", "--threads", "1", "--latency", "16",
+             "--commits", "1500", "--no-cache"]
+
+    def test_snapshot_then_restore_matches_unbroken(self, tmp_path, capsys):
+        snap = tmp_path / "warm.snap"
+        assert main(self._ARGS) == 0
+        unbroken = capsys.readouterr().out
+        assert main(self._ARGS + ["--snapshot", str(snap)]) == 0
+        captured = capsys.readouterr()
+        assert snap.is_file()
+        assert "warmup_key" in captured.err
+        assert captured.out == unbroken  # capture changes nothing
+        assert main(self._ARGS + ["--restore", str(snap)]) == 0
+        restored = capsys.readouterr().out
+        # identical statistics block, plus the restore marker in the title
+        assert "[restored @" in restored
+        assert restored.split("==\n", 1)[1] == unbroken.split("==\n", 1)[1]
+
+    def test_restore_refuses_mismatched_spec(self, tmp_path, capsys):
+        snap = tmp_path / "warm.snap"
+        assert main(self._ARGS + ["--snapshot", str(snap)]) == 0
+        capsys.readouterr()
+        mismatched = ["run", "--threads", "2", "--latency", "16",
+                      "--commits", "1500", "--no-cache"]
+        assert main(mismatched + ["--restore", str(snap)]) == 2
+        assert "warmup_key" in capsys.readouterr().err
+
+    def test_restore_missing_file(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--restore", str(tmp_path / "no.snap")]) == 2
+        assert "--restore" in capsys.readouterr().err
+
+    def test_snapshot_needs_cycle_backend(self, tmp_path, capsys):
+        assert main(self._ARGS + ["--backend", "analytic",
+                                  "--snapshot", str(tmp_path / "x")]) == 2
+        assert "cycle backend" in capsys.readouterr().err
+
 
 class TestPerfCommand:
     @pytest.fixture
@@ -165,7 +233,17 @@ class TestPerfCommand:
                 ),
             }
 
+        def tiny_forked(quick=False):
+            return [
+                RunSpec.multiprogrammed(
+                    1, l2_latency=16, scale=1.0, seg_instrs=3000,
+                    commits_per_thread=c, warmup_per_thread=500,
+                )
+                for c in (600, 900)
+            ]
+
         monkeypatch.setattr(perf_mod, "perf_specs", tiny)
+        monkeypatch.setattr(perf_mod, "forked_sweep_specs", tiny_forked)
 
     def test_perf_writes_schema_document(self, tiny_workloads, tmp_path,
                                          capsys):
@@ -180,7 +258,12 @@ class TestPerfCommand:
         head = doc["headline"]
         assert head["bit_identical"] is True
         assert head["speedup"] > 0
-        assert "cycles/s" in capsys.readouterr().out
+        fs = doc["forked_sweep"]
+        assert fs["identical"] is True
+        assert fs["n_forked"] == 1 and fs["n_cells"] == 2
+        out = capsys.readouterr().out
+        assert "cycles/s" in out
+        assert "forked sweep" in out
 
     def test_perf_check_passes_against_itself(self, tiny_workloads,
                                               tmp_path, capsys):

@@ -267,6 +267,129 @@ class TestEngine:
         assert engine.n_executed == 1  # second pass fully cached
 
 
+class TestSpecVersionGuard:
+    """Entries embed the SPEC_VERSION that produced them; a mismatch (or
+    its absence, for entries written before it was recorded) is a miss."""
+
+    def test_recorded_on_put(self, tmp_path):
+        from repro.engine.spec import SPEC_VERSION
+
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        cache.put(spec, spec.execute())
+        entry = json.loads(cache.path_for(spec).read_text())
+        assert entry["spec_version"] == SPEC_VERSION
+
+    @pytest.mark.parametrize("stale", ["older", "missing"])
+    def test_mismatch_is_a_miss(self, tmp_path, stale):
+        from repro.engine.spec import SPEC_VERSION
+
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec()
+        stats = spec.execute()
+        cache.put(spec, stats)
+        path = cache.path_for(spec)
+        entry = json.loads(path.read_text())
+        if stale == "older":
+            entry["spec_version"] = SPEC_VERSION - 1
+        else:
+            del entry["spec_version"]
+        path.write_text(json.dumps(entry))
+        assert cache.get(spec) is None
+        cache.put(spec, stats)  # the next put repairs the entry
+        assert cache.get(spec) == stats
+
+
+def forkable(commits, **kw):
+    """Specs that differ only in measured budget share a warm-up prefix."""
+    base = dict(
+        n_threads=2, l2_latency=32, commits_per_thread=commits,
+        warmup_per_thread=500, seg_instrs=3000,
+    )
+    base.update(kw)
+    return RunSpec.multiprogrammed(**base)
+
+
+class TestWarmupKey:
+    def test_measured_budget_is_masked(self):
+        assert forkable(600).warmup_key() == forkable(1200).warmup_key()
+        assert forkable(600).key() != forkable(1200).key()
+
+    @pytest.mark.parametrize("change", [
+        {"n_threads": 1},
+        {"l2_latency": 64},
+        {"decoupled": False},
+        {"seed": 1},
+        {"warmup_per_thread": 501},
+        {"seg_instrs": 3001},
+    ])
+    def test_warmup_shaping_fields_differ(self, change):
+        # everything that affects the machine before the boundary forks
+        # the key — only the measured budget may differ within a group
+        assert forkable(600, **change).warmup_key() != forkable(600).warmup_key()
+
+
+class TestForkedSweeps:
+    def _grid(self):
+        return [forkable(c) for c in (600, 900, 1200)]
+
+    def test_serial_forked_equals_cold(self):
+        cold = Engine(workers=1).map(self._grid())
+        forked = Engine(workers=1, fork_warmup=2).map(self._grid())
+        assert forked.n_forked == 2
+        assert forked.warmup_cycles_saved > 0
+        assert forked.n_executed == 3 and forked.n_cached == 0
+        for spec in self._grid():
+            assert forked[spec].to_dict() == cold[spec].to_dict()
+
+    def test_parallel_forked_equals_cold(self, tmp_path):
+        cold = Engine(workers=1).map(self._grid())
+        engine = Engine(
+            workers=2, cache=ResultCache(tmp_path), fork_warmup=2
+        )
+        forked = engine.map(self._grid())
+        assert forked.n_forked == 2
+        for spec in self._grid():
+            assert forked[spec].to_dict() == cold[spec].to_dict()
+
+    def test_snapshot_persisted_and_reused(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        Engine(workers=1, cache=cache, fork_warmup=2).map(self._grid())
+        key = forkable(600).warmup_key()
+        assert cache.snapshot_path(key).is_file()
+        assert len(cache) == 3  # .snap files don't count as result entries
+        # a later invocation sweeping a NEW budget over the same warm
+        # prefix forks even as a singleton: the snapshot is already paid
+        newcomer = forkable(1500)
+        result = Engine(workers=1, cache=cache, fork_warmup=2).map([newcomer])
+        assert result.n_forked == 1
+        assert result[newcomer].to_dict() == newcomer.execute().to_dict()
+
+    def test_corrupt_snapshot_is_rewarmed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = self._grid()[:2]
+        cache.put_snapshot(specs[0].warmup_key(), b"garbage")
+        result = Engine(workers=1, cache=cache, fork_warmup=2).map(specs)
+        assert result.n_forked == 1  # leader re-warmed, follower forked
+        cold = Engine(workers=1).map(specs)
+        for spec in specs:
+            assert result[spec].to_dict() == cold[spec].to_dict()
+
+    def test_group_below_threshold_stays_cold(self):
+        result = Engine(workers=1, fork_warmup=2).map([forkable(600)])
+        assert result.n_forked == 0 and result.n_executed == 1
+
+    def test_analytic_backend_never_forks(self):
+        specs = [forkable(c, backend="analytic") for c in (600, 900)]
+        result = Engine(workers=1, fork_warmup=2).map(specs)
+        assert result.n_forked == 0
+        assert all(s.committed > 0 for s in result.values())
+
+    def test_counters_default_zero_without_forking(self):
+        result = submit([tiny_spec()])
+        assert result.n_forked == 0 and result.warmup_cycles_saved == 0
+
+
 class TestDeepCopySafety:
     def test_caller_mutation_cannot_corrupt_memo(self):
         # the engine hands out independent objects: mutating a returned

@@ -1,0 +1,293 @@
+"""Differential tests: snapshot/restore vs unbroken execution.
+
+The checkpoint subsystem's core claim is **bit-identity**: capture a
+machine at the warm-up boundary (or anywhere in the measured region),
+restore it — through a full serialize/deserialize round trip — and run to
+completion, and you get exactly the statistics *and* exactly the final
+machine state of a run that was never interrupted.  These tests gate that
+claim the same way ``tests/test_fast_forward.py`` gates the idle-cycle
+fast-forward: exact equality of ``SimStats.to_dict()`` plus the strictly
+stronger ``MachineState.fingerprint()`` (queues, rename files, cache tag
+arrays, MSHR occupancy, event heap, RNG cursors — everything).
+
+Coverage deliberately includes the shapes the memory fast path declines —
+finite banked L2, a stream prefetcher, per-thread split L1 — because
+those run the generic interpreter, whose per-level state (tag/LRU/dirty
+lists, bank queues, prefetch tables) must survive the pickle too.  A
+cross-``REPRO_GENERIC_MEM`` test pins the subtlest contract: a snapshot
+captured with the specialized closures installed restores onto the
+generic path (and vice versa) with identical results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.snapshot import (
+    Snapshot,
+    SnapshotError,
+    capture_warmup,
+    run_tail,
+)
+from repro.engine.spec import RunSpec
+from repro.memory.spec import mem_preset
+
+# Small budgets: bit-identity holds cycle-for-cycle, so short runs test it
+# as strictly as long ones while keeping tier-1 fast.
+_BUDGET = dict(commits_per_thread=1000, warmup_per_thread=400, scale=1.0,
+               seg_instrs=4000)
+
+
+def run_cold(spec: RunSpec):
+    """An unbroken run; returns ``(proc, stats)``."""
+    proc, kw = spec.instantiate()
+    return proc, proc.run(**kw)
+
+
+def run_restored(spec: RunSpec):
+    """Warm up, snapshot, serialize, restore into a *fresh* machine and
+    run only the measured tail; returns ``(restored_proc, stats)``."""
+    snap, _warm_proc = capture_warmup(spec)
+    snap = Snapshot.from_bytes(snap.to_bytes())  # full round trip
+    proc = snap.restore(spec)
+    kw = spec.run_kwargs()
+    kw["warmup_commits"] = 0
+    return proc, proc.run(**kw)
+
+
+def assert_bit_identical(spec: RunSpec):
+    """The differential gate: cold vs snapshot-restored, exact equality
+    of statistics, final cycle and complete machine fingerprint."""
+    proc_cold, stats_cold = run_cold(spec)
+    proc_rest, stats_rest = run_restored(spec)
+    d_cold, d_rest = stats_cold.to_dict(), stats_rest.to_dict()
+    diff = {
+        k: (d_cold[k], d_rest[k]) for k in d_cold if d_cold[k] != d_rest[k]
+    }
+    assert not diff, f"restore diverged from cold on {spec.label()}: {diff}"
+    assert proc_cold.cycle == proc_rest.cycle
+    assert proc_cold.state.fingerprint() == proc_rest.state.fingerprint(), (
+        f"final machine states diverged on {spec.label()}"
+    )
+    proc_rest.check_invariants()
+    return proc_rest
+
+
+class TestFigure3Grid:
+    """Warm-up-boundary restore across the paper's Figure-3 cells."""
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_bit_identical(self, n_threads):
+        assert_bit_identical(
+            RunSpec.multiprogrammed(n_threads, l2_latency=16, **_BUDGET)
+        )
+
+    def test_long_latency_idle_heavy(self):
+        # fast-forward active in both halves of the comparison
+        assert_bit_identical(
+            RunSpec.single("su2cor", l2_latency=256, scale=1.0,
+                           commits=3000, warmup=1000)
+        )
+
+
+class TestRandomizedConfigs:
+    """Seeded-random machine configurations (the acceptance grid's
+    randomized cells)."""
+
+    @pytest.mark.parametrize("draw", [0, 1])
+    def test_bit_identical(self, draw):
+        rng = random.Random(0x20260807 + draw)
+        spec = RunSpec.multiprogrammed(
+            rng.choice([1, 2, 3]),
+            l2_latency=rng.choice([32, 64, 128]),
+            decoupled=rng.random() < 0.5,
+            seed=rng.randrange(100),
+            commits_per_thread=900,
+            warmup_per_thread=300,
+            scale=1.0,
+            seg_instrs=4000,
+            iq_size=rng.choice([16, 48, 96]),
+            mshrs=rng.choice([4, 16, 32]),
+            fetch_threads=rng.choice([1, 2]),
+        )
+        assert_bit_identical(spec)
+
+
+class TestExoticShapes:
+    """Shapes the memory fast path declines: the *generic* interpreter's
+    per-level state must survive the pickle byte-for-byte."""
+
+    def test_finite_banked_l2(self):
+        spec = RunSpec.multiprogrammed(
+            2, l2_latency=64,
+            mem=mem_preset("l2_small").override("L2.banks", 2), **_BUDGET,
+        )
+        proc = assert_bit_identical(spec)
+        assert not proc.mem.specialized  # really on the generic path
+
+    def test_stream_prefetcher(self):
+        spec = RunSpec.single(
+            "su2cor", l2_latency=128, scale=1.0, commits=2500, warmup=800,
+            mem=mem_preset("stream"),
+        )
+        proc = assert_bit_identical(spec)
+        assert not proc.mem.specialized
+        assert proc.mem.prefetch_fills > 0  # the prefetcher really ran
+
+    def test_split_per_thread_l1(self):
+        spec = RunSpec.multiprogrammed(
+            2, l2_latency=64,
+            mem=mem_preset("classic").override("L1.shared", False),
+            **_BUDGET,
+        )
+        proc = assert_bit_identical(spec)
+        assert not proc.mem.specialized
+        assert len(proc.mem._l1s) == 2
+
+    def test_prefetch_on_finite_l2(self):
+        # the acceptance grid's combined prefetch + finite-L2 cell
+        spec = RunSpec.multiprogrammed(
+            2, l2_latency=64,
+            mem=mem_preset("l2_small").override("prefetch_kind", "nextline"),
+            **_BUDGET,
+        )
+        proc = assert_bit_identical(spec)
+        assert not proc.mem.specialized
+
+
+class TestCrossModeRestore:
+    """Snapshots restore across ``REPRO_GENERIC_MEM`` settings — legal
+    because the fast and generic paths are bit-identical by contract."""
+
+    def _spec(self):
+        return RunSpec.multiprogrammed(2, l2_latency=64, **_BUDGET)
+
+    def test_fast_capture_generic_restore(self, monkeypatch):
+        spec = self._spec()
+        monkeypatch.delenv("REPRO_GENERIC_MEM", raising=False)
+        proc_cold, stats_cold = run_cold(spec)
+        assert proc_cold.mem.specialized
+        snap, _ = capture_warmup(spec)
+        monkeypatch.setenv("REPRO_GENERIC_MEM", "1")
+        proc = Snapshot.from_bytes(snap.to_bytes()).restore(spec)
+        assert not proc.mem.specialized  # restored onto the generic path
+        kw = spec.run_kwargs()
+        kw["warmup_commits"] = 0
+        stats = proc.run(**kw)
+        assert stats.to_dict() == stats_cold.to_dict()
+        assert proc.state.fingerprint() == proc_cold.state.fingerprint()
+
+    def test_generic_capture_fast_restore(self, monkeypatch):
+        spec = self._spec()
+        monkeypatch.setenv("REPRO_GENERIC_MEM", "1")
+        proc_cold, stats_cold = run_cold(spec)
+        assert not proc_cold.mem.specialized
+        snap, _ = capture_warmup(spec)
+        monkeypatch.delenv("REPRO_GENERIC_MEM")
+        proc = Snapshot.from_bytes(snap.to_bytes()).restore(spec)
+        assert proc.mem.specialized  # re-specialized over restored arrays
+        kw = spec.run_kwargs()
+        kw["warmup_commits"] = 0
+        stats = proc.run(**kw)
+        assert stats.to_dict() == stats_cold.to_dict()
+        assert proc.state.fingerprint() == proc_cold.state.fingerprint()
+
+
+class TestMidRegionCapture:
+    """Capture is legal anywhere, not just the warm-up boundary — and is
+    non-destructive: the captured machine keeps running and must agree
+    with its own restored twin to the last counter."""
+
+    def test_capture_mid_measured_region(self):
+        spec = RunSpec.multiprogrammed(2, l2_latency=32, **_BUDGET)
+        proc, kw = spec.instantiate()
+        proc.run(max_commits=kw["warmup_commits"], max_cycles=None)
+        proc.reset_stats()
+        half = kw["max_commits"] // 2
+        proc.run(max_commits=half, warmup_commits=0,
+                 max_cycles=kw["max_cycles"])
+        snap = Snapshot.capture(proc, spec=spec)
+        # the original machine continues past the capture point...
+        rest_commits = kw["max_commits"] - proc.stats.committed
+        stats_a = proc.run(max_commits=rest_commits, warmup_commits=0,
+                           max_cycles=kw["max_cycles"])
+        # ...and its restored twin runs the identical remainder
+        twin = Snapshot.from_bytes(snap.to_bytes()).restore(spec)
+        stats_b = twin.run(max_commits=rest_commits, warmup_commits=0,
+                           max_cycles=kw["max_cycles"])
+        assert stats_a.to_dict() == stats_b.to_dict()
+        assert proc.state.fingerprint() == twin.state.fingerprint()
+
+
+class TestForkedSiblings:
+    """One warm-up snapshot fans out to cells with different measured
+    budgets; every tail must equal its own cold run."""
+
+    def _spec(self, commits):
+        return RunSpec.multiprogrammed(
+            2, l2_latency=64, commits_per_thread=commits,
+            warmup_per_thread=400, scale=1.0, seg_instrs=4000,
+        )
+
+    def test_shared_warmup_key(self):
+        a, b = self._spec(800), self._spec(1600)
+        assert a.warmup_key() == b.warmup_key()
+        assert a.key() != b.key()
+
+    def test_tails_equal_cold(self):
+        base = self._spec(800)
+        snap, _ = capture_warmup(base)
+        snap = Snapshot.from_bytes(snap.to_bytes())
+        for commits in (800, 1200, 1600):
+            sib = self._spec(commits)
+            assert run_tail(sib, snap).to_dict() == sib.execute().to_dict()
+
+
+class TestSnapshotFormat:
+    """Serialization format, validation and refusal paths."""
+
+    def _snap(self):
+        spec = RunSpec.multiprogrammed(1, l2_latency=16, **_BUDGET)
+        return spec, capture_warmup(spec)[0]
+
+    def test_meta_fields(self):
+        spec, snap = self._snap()
+        assert snap.meta["spec_key"] == spec.key()
+        assert snap.meta["warmup_key"] == spec.warmup_key()
+        assert snap.meta["cycle"] > 0
+        assert snap.meta["total_committed"] > 0
+
+    def test_roundtrip_preserves_meta_and_payload(self):
+        _, snap = self._snap()
+        back = Snapshot.from_bytes(snap.to_bytes())
+        assert back.meta == snap.meta
+        assert back.payload == snap.payload
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SnapshotError, match="magic"):
+            Snapshot.from_bytes(b"not a snapshot at all")
+
+    def test_corrupt_header_rejected(self):
+        with pytest.raises(SnapshotError, match="corrupt"):
+            Snapshot.from_bytes(b"repro-snap\n{never closed")
+
+    def test_stale_format_rejected(self):
+        _, snap = self._snap()
+        snap.meta["format"] = 999
+        with pytest.raises(SnapshotError, match="format"):
+            Snapshot.from_bytes(snap.to_bytes())
+
+    def test_stale_spec_version_rejected(self):
+        _, snap = self._snap()
+        snap.meta["spec_version"] = 1
+        with pytest.raises(SnapshotError, match="spec_version"):
+            Snapshot.from_bytes(snap.to_bytes())
+
+    def test_mismatched_warmup_key_refused(self):
+        spec, snap = self._snap()
+        other = RunSpec.multiprogrammed(2, l2_latency=16, **_BUDGET)
+        assert other.warmup_key() != spec.warmup_key()
+        with pytest.raises(SnapshotError, match="warmup_key"):
+            snap.restore(other)
