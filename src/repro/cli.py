@@ -23,6 +23,11 @@ Subcommands:
   committed instructions/s) on pinned workloads, report the idle-cycle
   fast-forward speedup on the headline workload, write a ``BENCH_*.json``
   document and optionally gate against a committed baseline.
+* ``serve`` — run the simulation-as-a-service job server: ``POST /jobs``
+  accepts RunSpec JSON (one spec or a batch), a worker pool executes
+  through the engine + shared result cache, concurrent identical
+  submissions coalesce to one simulation, progress streams from
+  ``GET /jobs/{id}/events``, and SIGTERM drains gracefully.
 
 ``figure``, ``sweep``, ``run`` and ``bench`` take ``--backend
 {cycle,analytic}``: the faithful staged kernel, or the mean-value fast
@@ -644,6 +649,21 @@ def _cmd_workloads(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        spool_dir=args.spool_dir,
+        engine_workers=args.workers,
+        service_workers=args.service_workers,
+        fork_warmup=args.fork_warmup,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sim",
@@ -944,6 +964,45 @@ def build_parser() -> argparse.ArgumentParser:
              "document — CI uploads it as the perf-smoke artifact",
     )
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP job server (simulation as a service)",
+        parents=[engine_flags],
+        description=(
+            "Serve simulations over HTTP: POST /jobs takes a RunSpec "
+            "JSON body ({\"spec\": {...}} or {\"specs\": [...]}; the "
+            "exact documents 'repro-sim sweep' emits under runs[].spec), "
+            "GET /jobs/{id} reports status and results, "
+            "GET /jobs/{id}/events streams progress lines, GET /metrics "
+            "exposes queue depth and engine counters. A pool of worker "
+            "tasks executes jobs through engines sharing one result "
+            "cache; identical specs submitted concurrently coalesce to "
+            "a single simulation. Accepted jobs persist in a spool "
+            "directory, so unfinished work is re-queued after a "
+            "restart; SIGTERM stops accepting, finishes in-flight "
+            "jobs and exits."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="TCP port, 0 picks a free one (default: 8023)")
+    p.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (each job additionally fans out over "
+             "--workers processes; default: 2)",
+    )
+    p.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="durable job queue location (default: <cache-dir>/jobs)",
+    )
+    p.add_argument(
+        "--fork-warmup", type=int, default=None, metavar="N",
+        help="enable forked sweeps inside jobs (see 'repro-sim sweep "
+             "--fork-warmup')",
+    )
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

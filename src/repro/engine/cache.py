@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.engine.spec import SPEC_VERSION, RunSpec
@@ -23,16 +24,35 @@ from repro.stats.counters import SimStats
 #: overrides the default cache location
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: standard base-directory override honored by :func:`default_cache_dir`
+XDG_CACHE_ENV = "XDG_CACHE_HOME"
+
 #: bump when the on-disk entry layout changes
 CACHE_FORMAT = 1
 
+#: ``*.tmp`` files older than this are orphans from killed workers and
+#: are swept on the next write; a live writer holds its temp file only
+#: for one ``json.dump``, so anything this stale is garbage
+ORPHAN_TMP_AGE_S = 3600.0
+
 
 def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    """``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro-sim`` >
+    ``~/.cache/repro-sim``."""
     env = os.environ.get(CACHE_DIR_ENV)
     if env:
         return Path(env).expanduser()
+    xdg = os.environ.get(XDG_CACHE_ENV)
+    if xdg:
+        return Path(xdg).expanduser() / "repro-sim"
     return Path.home() / ".cache" / "repro-sim"
+
+
+def _current_umask() -> int:
+    """The process umask (only readable by momentarily setting it)."""
+    mask = os.umask(0o077)
+    os.umask(mask)
+    return mask
 
 
 class ResultCache:
@@ -40,6 +60,56 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = Path(root).expanduser() if root else default_cache_dir()
+        self._swept_orphans = False
+
+    def _write_atomic(self, path: Path, payload: bytes) -> None:
+        """Write ``payload`` to ``path`` via temp file + ``os.replace``.
+
+        ``mkstemp`` opens its file 0600 and ``os.replace`` preserves that
+        mode — in a cache directory shared across users (CI runners, a
+        job server's workers) every other reader would get
+        permission-denied, which :meth:`get` reads as a miss, so the
+        same runs re-simulate forever.  The temp file is therefore
+        re-moded to what a plain ``open()`` would have produced (0666
+        masked by the process umask) before it is published.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphans()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            os.chmod(tmp, 0o666 & ~_current_umask())
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _sweep_orphans(self) -> None:
+        """Remove stale ``*.tmp`` droppings left by killed workers.
+
+        Runs once per cache instance, before its first write.  Only
+        files older than :data:`ORPHAN_TMP_AGE_S` go: a fresh ``.tmp``
+        belongs to a concurrent writer that is about to ``os.replace``
+        it into place.
+        """
+        if self._swept_orphans:
+            return
+        self._swept_orphans = True
+        cutoff = time.time() - ORPHAN_TMP_AGE_S
+        try:
+            candidates = list(self.root.glob("*.tmp"))
+        except OSError:
+            return
+        for tmp in candidates:
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass  # raced another sweeper, or the writer came back
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.key()}.json"
@@ -74,7 +144,6 @@ class ResultCache:
     def put(self, spec: RunSpec, stats: SimStats) -> Path:
         """Store one result atomically; returns the entry path."""
         path = self.path_for(spec)
-        self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": CACHE_FORMAT,
             "spec_version": SPEC_VERSION,
@@ -82,17 +151,9 @@ class ResultCache:
             "spec": spec.to_dict(),
             "stats": stats.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self._write_atomic(
+            path, json.dumps(entry, sort_keys=True).encode("utf-8")
+        )
         return path
 
     # -- warm-up snapshots --------------------------------------------------------
@@ -118,18 +179,7 @@ class ResultCache:
     def put_snapshot(self, warmup_key: str, data: bytes) -> Path:
         """Store one serialized snapshot atomically."""
         path = self.snapshot_path(warmup_key)
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self._write_atomic(path, data)
         return path
 
     def __contains__(self, spec: RunSpec) -> bool:

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import copy
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.engine.backends import get_backend
 from repro.engine.cache import ResultCache
@@ -42,9 +43,18 @@ from repro.stats.counters import SimStats
 #: overrides the default worker count (CLI ``--workers`` wins over this)
 WORKERS_ENV = "REPRO_WORKERS"
 
+_warned_bad_workers = False
+
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Explicit argument > ``$REPRO_WORKERS`` > ``os.cpu_count()``."""
+    """Explicit argument > ``$REPRO_WORKERS`` > ``os.cpu_count()``.
+
+    A malformed or non-positive ``$REPRO_WORKERS`` warns once — naming
+    the bad value, mirroring ``REPRO_SCALE``'s precedent — and falls
+    back to ``os.cpu_count()`` (it used to be swallowed silently, which
+    made ``REPRO_WORKERS=fuor`` look like a deliberate all-cores run).
+    """
+    global _warned_bad_workers
     if workers is None:
         env = os.environ.get(WORKERS_ENV)
         if env:
@@ -52,6 +62,16 @@ def resolve_workers(workers: int | None = None) -> int:
                 workers = int(env)
             except ValueError:
                 workers = None
+            if workers is not None and workers < 1:
+                workers = None
+            if workers is None and not _warned_bad_workers:
+                warnings.warn(
+                    f"{WORKERS_ENV}={env!r} is not a positive integer; "
+                    "using os.cpu_count()",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _warned_bad_workers = True
     if workers is None:
         workers = os.cpu_count() or 1
     return max(1, workers)
@@ -132,6 +152,13 @@ class Engine:
     measured tails from a snapshot; a group of any size forks when the
     cache already holds its warm-up snapshot.  ``fork_warmup=None``
     (default) keeps every cell cold.
+
+    ``progress`` is an optional ``callback(event, spec)`` invoked as each
+    result lands — ``event`` is one of ``"cached"``, ``"executed"`` or
+    ``"forked"`` — so long-running maps can be observed live (the job
+    server streams these as ``/jobs/{id}/events`` lines).  Callbacks run
+    on the scheduling thread between result arrivals; a raising callback
+    is swallowed, because observability must never corrupt a sweep.
     """
 
     def __init__(
@@ -139,10 +166,12 @@ class Engine:
         workers: int | None = None,
         cache: ResultCache | None = None,
         fork_warmup: int | None = None,
+        progress: Callable[[str, RunSpec], None] | None = None,
     ):
         self.workers = workers
         self.cache = cache
         self.fork_warmup = fork_warmup
+        self.progress = progress
         self._memo: dict[RunSpec, SimStats] = {}
         # lifetime totals, summed over every map() call
         self.n_cached = 0
@@ -171,6 +200,7 @@ class Engine:
                 # hand out a copy: SimStats is mutable, and a caller
                 # touching a counter must not corrupt future hits
                 done[spec] = copy.deepcopy(hit)
+                self._emit("cached", spec)
             else:
                 misses.append(spec)
 
@@ -222,7 +252,9 @@ class Engine:
         Returns ``(remaining_misses, n_forked, warmup_cycles_saved)`` —
         specs that cannot fork (wrong backend, no warm-up, group too
         small with no cached snapshot) pass through untouched for the
-        ordinary cold path.
+        ordinary cold path.  Cells whose snapshot restore failed at the
+        last moment (a concurrently rewritten ``.snap``) are executed
+        cold by the fork paths themselves and reported as unforked.
         """
         from repro.engine.snapshot import Snapshot, SnapshotError
 
@@ -263,20 +295,22 @@ class Engine:
 
         n_workers = min(resolve_workers(self.workers), len(warm) + len(tails))
         if n_workers > 1:
-            self._fork_parallel(warm, tails, snaps, done, n_workers)
+            unforked = self._fork_parallel(warm, tails, snaps, done, n_workers)
         else:
-            self._fork_serial(warm, tails, snaps, done)
+            unforked = self._fork_serial(warm, tails, snaps, done)
 
-        cycles_saved = sum(snaps[key].meta["cycle"] for _, key in tails)
-        return plain, len(tails), cycles_saved
+        forked = [(s, k) for s, k in tails if s not in unforked]
+        cycles_saved = sum(snaps[key].meta["cycle"] for _, key in forked)
+        return plain, len(forked), cycles_saved
 
     def _save_snapshot(self, key: str, data: bytes) -> None:
         if self.cache is not None:
             self.cache.put_snapshot(key, data)
 
-    def _fork_serial(self, warm, tails, snaps, done) -> None:
-        from repro.engine.snapshot import capture_warmup, run_tail
+    def _fork_serial(self, warm, tails, snaps, done) -> set[RunSpec]:
+        from repro.engine.snapshot import SnapshotError, capture_warmup, run_tail
 
+        fallback: set[RunSpec] = set()
         for key, leader in warm:
             snap, proc = capture_warmup(leader)
             kwargs = leader.run_kwargs()
@@ -285,10 +319,20 @@ class Engine:
             snaps[key] = snap
             self._save_snapshot(key, snap.to_bytes())
         for spec, key in tails:
-            done[spec] = self._record(spec, run_tail(spec, snaps[key]))
+            try:
+                stats = run_tail(spec, snaps[key])
+                event = "forked"
+            except SnapshotError:
+                # a stale/foreign snapshot must not kill the sweep:
+                # this cell simply runs cold, counted as unforked
+                stats = spec.execute()
+                event = "executed"
+                fallback.add(spec)
+            done[spec] = self._record(spec, stats, event)
+        return fallback
 
-    def _fork_parallel(self, warm, tails, snaps, done, n_workers) -> None:
-        from repro.engine.snapshot import Snapshot
+    def _fork_parallel(self, warm, tails, snaps, done, n_workers) -> set[RunSpec]:
+        from repro.engine.snapshot import Snapshot, SnapshotError
 
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             # phase 1: fresh warm-ups, one leader per group (each also
@@ -320,20 +364,48 @@ class Engine:
                 futures[
                     pool.submit(_tail_payload, spec.to_dict(), *ref)
                 ] = spec
+            fallback: set[RunSpec] = set()
             pending = set(futures)
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for fut in finished:
                     spec = futures[fut]
+                    try:
+                        stats = SimStats.from_dict(fut.result())
+                    except (SnapshotError, OSError):
+                        # the follower read a concurrently-rewritten,
+                        # corrupt or vanished .snap file; nothing is
+                        # wrong with the *cell*, so execute it cold
+                        # instead of killing the whole sweep, and count
+                        # it as unforked
+                        retry = pool.submit(_execute_payload, spec.to_dict())
+                        futures[retry] = spec
+                        pending.add(retry)
+                        fallback.add(spec)
+                        continue
                     done[spec] = self._record(
-                        spec, SimStats.from_dict(fut.result())
+                        spec,
+                        stats,
+                        "executed" if spec in fallback else "forked",
                     )
+        return fallback
 
-    def _record(self, spec: RunSpec, stats: SimStats) -> SimStats:
+    def _record(
+        self, spec: RunSpec, stats: SimStats, event: str = "executed"
+    ) -> SimStats:
         self._memo[spec] = copy.deepcopy(stats)  # isolate from the caller
         if self.cache is not None:
             self.cache.put(spec, stats)
+        self._emit(event, spec)
         return stats
+
+    def _emit(self, event: str, spec: RunSpec) -> None:
+        if self.progress is None:
+            return
+        try:
+            self.progress(event, spec)
+        except Exception:
+            pass  # observability must never corrupt a sweep
 
     def _map_parallel(
         self,

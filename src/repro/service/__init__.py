@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: a long-running job server over the engine.
+
+The engine already owns everything a service needs — content-addressed
+:class:`~repro.engine.spec.RunSpec` identity, an on-disk result cache,
+and a process-pool scheduler.  This package is the thin, stdlib-only
+(``asyncio`` + hand-rolled HTTP/1.1) layer in front of them:
+
+* **Wire** (:mod:`repro.service.wire`) — specs are already frozen,
+  hashable and JSON-round-trippable, so *they are the wire format*; this
+  module validates job-submission bodies and shapes job/metrics JSON.
+* **Jobs** (:mod:`repro.service.jobs`) — the :class:`Job` lifecycle
+  (queued → running → done/failed), its live event log, and the
+  spool-directory persistence that survives restarts and SIGTERM.
+* **Coalescing** (:mod:`repro.service.coalesce`) — in-flight requests
+  merge on ``RunSpec.key()``: N concurrent identical submissions cost
+  exactly one simulation.
+* **Metrics** (:mod:`repro.service.metrics`) — queue depth, job states,
+  and the engines' lifetime cached/executed/forked counters, served as
+  one JSON document at ``GET /metrics``.
+* **Server** (:mod:`repro.service.server`) — the asyncio HTTP front end
+  (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/events``,
+  ``GET /metrics``, ``GET /healthz``), its worker pool (one
+  :class:`~repro.engine.scheduler.Engine` per worker, all sharing one
+  cache directory), and graceful drain on SIGTERM.
+
+Start it with ``repro-sim serve``.
+"""
+
+from repro.service.coalesce import Coalescer
+from repro.service.jobs import Job, JobStore
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import SimService
+from repro.service.wire import JobRequest, WireError, parse_job_request
+
+__all__ = [
+    "Coalescer",
+    "Job",
+    "JobRequest",
+    "JobStore",
+    "ServiceMetrics",
+    "SimService",
+    "WireError",
+    "parse_job_request",
+]

@@ -1,0 +1,75 @@
+"""In-flight request coalescing on ``RunSpec.key()``.
+
+The result cache already dedupes *completed* work; what it cannot do is
+stop N concurrent identical submissions from all missing the still-empty
+cache and simulating the same spec N times.  The :class:`Coalescer`
+closes that window: the first job to start running a spec *owns* it and
+registers a future under the spec's content hash; every later job whose
+spec finds an unresolved future *borrows* it and simply awaits the
+owner's result.  N concurrent identical ``POST /jobs`` therefore cost
+exactly one ``Engine`` execution — the service-level analogue of the
+scheduler's in-batch dedupe.
+
+Futures carry plain stats dicts (the cache's own representation), so
+borrowers can never mutate the owner's result object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.engine.spec import RunSpec
+
+
+class Coalescer:
+    """Single-event-loop registry of in-flight specs. Not thread-safe by
+    design: claim/resolve/fail all run on the server's loop."""
+
+    def __init__(self):
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: lifetime count of spec-slots served by another job's run
+        self.n_coalesced = 0
+
+    @property
+    def n_inflight(self) -> int:
+        return len(self._inflight)
+
+    def claim(
+        self, specs: list[RunSpec]
+    ) -> tuple[list[RunSpec], dict[RunSpec, asyncio.Future]]:
+        """Partition ``specs`` into ``(owned, borrowed)``.
+
+        ``owned`` specs are this caller's to execute — a fresh future is
+        registered for each, and the caller **must** later ``resolve``
+        or ``fail`` every one of them.  ``borrowed`` maps specs to
+        another job's in-flight future to await instead.
+        """
+        loop = asyncio.get_running_loop()
+        owned: list[RunSpec] = []
+        borrowed: dict[RunSpec, asyncio.Future] = {}
+        for spec in specs:
+            fut = self._inflight.get(spec.key())
+            if fut is not None and not fut.done():
+                borrowed[spec] = fut
+                self.n_coalesced += 1
+            else:
+                self._inflight[spec.key()] = loop.create_future()
+                owned.append(spec)
+        return owned, borrowed
+
+    def resolve(self, spec: RunSpec, stats_dict: dict) -> None:
+        """Publish an owned spec's result to every borrower."""
+        fut = self._inflight.pop(spec.key(), None)
+        if fut is not None and not fut.done():
+            fut.set_result(stats_dict)
+
+    def fail(self, spec: RunSpec, exc: BaseException) -> None:
+        """Propagate an owned spec's failure to every borrower (no-op if
+        the spec was already resolved)."""
+        fut = self._inflight.pop(spec.key(), None)
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+            # borrowers (if any) retrieve it on await; this retrieval
+            # silences the "exception never retrieved" warning when the
+            # failed spec had no borrowers at all
+            fut.exception()

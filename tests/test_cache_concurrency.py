@@ -1,0 +1,266 @@
+"""Shared-cache-dir hardening: defects that only bite under concurrency.
+
+A cache directory stops being private the moment two engines point at it
+— CI jobs sharing a warm cache, the job server's worker pool, or two
+users on one machine.  This suite pins the behaviours that make that
+safe: entry permissions honor the umask instead of ``mkstemp``'s 0600
+(a root-owned 0600 entry reads as permission-denied, i.e. an eternal
+miss, for everyone else); orphaned ``*.tmp`` files from killed writers
+get swept; racing ``put``/``get``/``put_snapshot`` calls never observe a
+torn entry; and a fork follower that reads a concurrently-rewritten or
+corrupt ``.snap`` file falls back to a cold execute instead of killing
+the whole sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+import threading
+import time
+
+import pytest
+
+from repro.engine import Engine, ResultCache, RunSpec, Sweep
+from repro.engine.cache import ORPHAN_TMP_AGE_S
+
+
+@pytest.fixture(autouse=True)
+def fast_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+
+
+def tiny_spec(**kw):
+    """A cycle-backend spec cheap enough to execute inside a unit test."""
+    base = dict(
+        n_threads=1, l2_latency=16, seed=0,
+        commits_per_thread=1500, warmup_per_thread=500, seg_instrs=3000,
+    )
+    base.update(kw)
+    return RunSpec.multiprogrammed(**base)
+
+
+def fast_spec(**kw):
+    """An analytic-backend spec (microseconds per run) for tight races."""
+    kw.setdefault("backend", "analytic")
+    return tiny_spec(**kw)
+
+
+@pytest.fixture
+def umask_022():
+    """A permissive umask, restored afterwards, so group/other read bits
+    are expected on everything the cache publishes."""
+    old = os.umask(0o022)
+    yield 0o022
+    os.umask(old)
+
+
+def _mode(path) -> int:
+    return stat.S_IMODE(os.stat(path).st_mode)
+
+
+class TestSharedDirPermissions:
+    """``mkstemp`` opens 0600 and ``os.replace`` preserves it; entries
+    must be re-moded to what the umask allows before publication."""
+
+    def test_result_entries_honor_umask(self, tmp_path, umask_022):
+        cache = ResultCache(tmp_path)
+        spec = fast_spec()
+        path = cache.put(spec, spec.execute())
+        assert _mode(path) == 0o644
+
+    def test_snapshot_entries_honor_umask(self, tmp_path, umask_022):
+        path = ResultCache(tmp_path).put_snapshot("a" * 32, b"payload")
+        assert _mode(path) == 0o644
+
+    def test_overwrite_keeps_umask_mode(self, tmp_path, umask_022):
+        # the second put replaces the entry through a fresh temp file;
+        # the published mode must not regress to 0600 either
+        cache = ResultCache(tmp_path)
+        spec = fast_spec()
+        stats = spec.execute()
+        cache.put(spec, stats)
+        path = cache.put(spec, stats)
+        assert _mode(path) == 0o644
+
+    def test_restrictive_umask_still_wins(self, tmp_path):
+        # honoring the umask also means *not* widening past it
+        old = os.umask(0o077)
+        try:
+            path = ResultCache(tmp_path).put_snapshot("b" * 32, b"x")
+            assert _mode(path) == 0o600
+        finally:
+            os.umask(old)
+
+
+class TestOrphanSweep:
+    def test_stale_tmp_swept_fresh_tmp_kept(self, tmp_path):
+        orphan = tmp_path / "deadbeef.tmp"
+        orphan.write_bytes(b"killed mid-write")
+        ancient = time.time() - ORPHAN_TMP_AGE_S - 60
+        os.utime(orphan, (ancient, ancient))
+        live = tmp_path / "live.tmp"
+        live.write_bytes(b"a concurrent writer owns this")
+
+        ResultCache(tmp_path).put_snapshot("c" * 32, b"data")
+        assert not orphan.exists()  # swept
+        assert live.exists()        # too young to be an orphan
+
+    def test_sweep_runs_once_per_instance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_snapshot("d" * 32, b"data")
+        late_orphan = tmp_path / "later.tmp"
+        late_orphan.write_bytes(b"x")
+        ancient = time.time() - ORPHAN_TMP_AGE_S - 60
+        os.utime(late_orphan, (ancient, ancient))
+        cache.put_snapshot("e" * 32, b"data")
+        assert late_orphan.exists()  # this instance already swept
+        ResultCache(tmp_path).put_snapshot("f" * 32, b"data")
+        assert not late_orphan.exists()  # a fresh instance sweeps again
+
+
+class TestRacingEngines:
+    """Two engines over one cache dir: races corrupt nothing."""
+
+    def test_concurrent_sweeps_agree_and_warm_the_cache(self, tmp_path):
+        sweep = Sweep.of(*(fast_spec(l2_latency=lat) for lat in
+                           (4, 8, 16, 32, 64, 128)))
+        reference = Engine.serial().map(sweep)
+        engines = [Engine(workers=1, cache=ResultCache(tmp_path))
+                   for _ in range(2)]
+        results: list = [None, None]
+        errors: list = []
+
+        def go(i):
+            try:
+                results[i] = engines[i].map(sweep)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=go, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for res in results:
+            for spec in sweep:
+                assert res[spec].to_dict() == reference[spec].to_dict()
+        # whoever lost each per-spec race simply overwrote an identical
+        # entry; a third engine now runs everything from disk
+        warm = Engine(workers=1, cache=ResultCache(tmp_path)).map(sweep)
+        assert warm.n_executed == 0 and warm.n_cached == len(sweep)
+
+    def test_put_get_snapshot_hammering(self, tmp_path):
+        spec = fast_spec()
+        stats = spec.execute()
+        expected = stats.to_dict()
+        snap_payload = b"snapshot-bytes" * 64
+        stop = time.time() + 1.0
+        errors: list = []
+
+        def writer():
+            cache = ResultCache(tmp_path)
+            try:
+                while time.time() < stop:
+                    cache.put(spec, stats)
+                    cache.put_snapshot(spec.warmup_key(), snap_payload)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reader():
+            cache = ResultCache(tmp_path)
+            try:
+                while time.time() < stop:
+                    got = cache.get(spec)
+                    # atomic publication: a reader sees a complete entry
+                    # or a miss, never a torn one
+                    assert got is None or got.to_dict() == expected
+                    snap = cache.get_snapshot(spec.warmup_key())
+                    assert snap is None or snap == snap_payload
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=f)
+                   for f in (writer, writer, reader, reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert ResultCache(tmp_path).get(spec).to_dict() == expected
+
+
+class _RewrittenSnapCache(ResultCache):
+    """Serves a valid snapshot to the scheduler's validation read, but
+    points phase-2 workers at a corrupt file — modelling a ``.snap``
+    another process rewrites between validation and the follower's
+    read."""
+
+    def __init__(self, root, valid_bytes):
+        super().__init__(root)
+        self._valid = valid_bytes
+
+    def get_snapshot(self, warmup_key):
+        return self._valid
+
+    def snapshot_path(self, warmup_key):
+        return self.root / "corrupt.snap"
+
+
+class TestForkFollowerFallback:
+    """A follower hitting a bad snapshot runs cold; the sweep survives."""
+
+    def _specs(self):
+        # same warm-up prefix (only the measured budget differs), so the
+        # scheduler groups them under one warmup_key
+        return [tiny_spec(commits_per_thread=c) for c in (1000, 1400)]
+
+    def test_parallel_follower_corrupt_snap_runs_cold(self, tmp_path):
+        from repro.engine.snapshot import capture_warmup
+
+        specs = self._specs()
+        snap, _ = capture_warmup(specs[0])
+        (tmp_path / "corrupt.snap").write_bytes(b"repro-snap\n{torn")
+        cache = _RewrittenSnapCache(tmp_path, snap.to_bytes())
+        engine = Engine(workers=2, cache=cache, fork_warmup=2)
+        results = engine.map(specs)  # pre-fix: SnapshotError killed this
+        reference = Engine.serial().map(specs)
+        for spec in specs:
+            assert results[spec].to_dict() == reference[spec].to_dict()
+        assert results.n_executed == 2
+        assert results.n_forked == 0
+        assert results.warmup_cycles_saved == 0
+
+    def test_parallel_follower_vanished_snap_runs_cold(self, tmp_path):
+        from repro.engine.snapshot import capture_warmup
+
+        specs = self._specs()
+        snap, _ = capture_warmup(specs[0])
+        # snapshot_path points at a file nobody ever wrote: the follower
+        # gets FileNotFoundError instead of SnapshotError
+        cache = _RewrittenSnapCache(tmp_path, snap.to_bytes())
+        engine = Engine(workers=2, cache=cache, fork_warmup=2)
+        results = engine.map(specs)
+        reference = Engine.serial().map(specs)
+        for spec in specs:
+            assert results[spec].to_dict() == reference[spec].to_dict()
+        assert results.n_forked == 0
+
+    def test_serial_foreign_snapshot_runs_cold(self, tmp_path):
+        # a valid snapshot filed under the *wrong* warmup key (copied
+        # between cache dirs by hand) fails restore's fork-key check;
+        # the serial path must also fall back per cell
+        from repro.engine.snapshot import capture_warmup
+
+        specs = self._specs()
+        foreign = tiny_spec(seed=7)
+        snap, _ = capture_warmup(foreign)
+        cache = ResultCache(tmp_path)
+        cache.put_snapshot(specs[0].warmup_key(), snap.to_bytes())
+        engine = Engine(workers=1, cache=cache, fork_warmup=2)
+        results = engine.map(specs)
+        reference = Engine.serial().map(specs)
+        for spec in specs:
+            assert results[spec].to_dict() == reference[spec].to_dict()
+        assert results.n_forked == 0 and results.n_executed == 2

@@ -2,6 +2,10 @@
 
 import copy
 import json
+import os
+import re
+import warnings
+from pathlib import Path
 
 import pytest
 
@@ -211,6 +215,18 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
         assert default_cache_dir() == tmp_path / "x"
 
+    def test_default_dir_honours_xdg_cache_home(self, monkeypatch, tmp_path):
+        # precedence: $REPRO_CACHE_DIR > $XDG_CACHE_HOME/repro-sim >
+        # ~/.cache/repro-sim ($XDG_CACHE_HOME used to be ignored)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-sim"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "explicit"))
+        assert default_cache_dir() == tmp_path / "explicit"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.delenv("XDG_CACHE_HOME")
+        assert default_cache_dir() == Path.home() / ".cache" / "repro-sim"
+
 
 class TestEngine:
     def test_serial_map_ordering_and_dedupe(self):
@@ -252,8 +268,21 @@ class TestEngine:
         assert resolve_workers(0) == 1
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers() == 5
-        monkeypatch.setenv("REPRO_WORKERS", "junk")
-        assert resolve_workers() >= 1
+
+    @pytest.mark.parametrize("bad", ["junk", "0", "-3"])
+    def test_resolve_workers_warns_once_on_bad_env(self, monkeypatch, bad):
+        # a malformed or non-positive $REPRO_WORKERS used to be silently
+        # swallowed; now it warns once, naming the value, and falls back
+        # to cpu_count()
+        from repro.engine import scheduler
+
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        monkeypatch.setattr(scheduler, "_warned_bad_workers", False)
+        with pytest.warns(RuntimeWarning, match=re.escape(bad)):
+            assert resolve_workers() == (os.cpu_count() or 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the second call stays silent
+            assert resolve_workers() == (os.cpu_count() or 1)
 
     def test_drivers_accept_engine(self, tmp_path):
         # the figure drivers submit through whatever engine they are given

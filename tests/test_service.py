@@ -1,0 +1,424 @@
+"""The simulation-as-a-service job server, exercised over real HTTP.
+
+Integration tests boot a :class:`~repro.service.server.SimService` on an
+ephemeral port in a background thread and speak to it with ``urllib`` —
+the same loopback TCP path a real client takes.  The headline scenario
+is the acceptance criterion from the service design: K identical
+concurrent submissions must coalesce to **exactly one** engine
+execution, a graceful drain must finish and persist in-flight jobs, and
+a restarted service must recover the spool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import RunSpec
+from repro.engine.backends import Backend, get_backend, register_backend
+from repro.service import JobStore, SimService, parse_job_request
+from repro.service.jobs import Job
+from repro.service.wire import WireError
+
+
+@pytest.fixture(autouse=True)
+def fast_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.08")
+
+
+def fast_spec(**kw):
+    """An analytic-backend spec: microseconds per run."""
+    base = dict(
+        n_threads=1, l2_latency=16, seed=0, backend="analytic",
+        commits_per_thread=1500, warmup_per_thread=500, seg_instrs=3000,
+    )
+    base.update(kw)
+    return RunSpec.multiprogrammed(**base)
+
+
+# -- wire schema ------------------------------------------------------------------
+
+
+class TestWire:
+    def test_single_spec_roundtrip(self):
+        spec = fast_spec()
+        req = parse_job_request(
+            json.dumps({"spec": spec.to_dict(), "label": "one"}).encode()
+        )
+        assert req.specs == [spec]
+        assert req.label == "one"
+
+    def test_batch_roundtrip_preserves_order(self):
+        specs = [fast_spec(l2_latency=lat) for lat in (16, 64, 256)]
+        req = parse_job_request(
+            json.dumps({"specs": [s.to_dict() for s in specs]}).encode()
+        )
+        assert req.specs == specs
+        assert req.label is None
+
+    @pytest.mark.parametrize(
+        "body, excerpt",
+        [
+            (b"{not json", "not valid JSON"),
+            (b"[1, 2]", "JSON object"),
+            (b"{}", 'exactly one of "spec" or "specs"'),
+            (b'{"spec": {}, "specs": []}', 'exactly one of "spec" or "specs"'),
+            (b'{"specs": []}', "at least one spec"),
+            (b'{"specs": {"a": 1}}', "must be a list"),
+            (b'{"specs": [42]}', "spec[0] must be an object"),
+            (b'{"spec": {"nope": 1}}', "not a valid RunSpec"),
+        ],
+    )
+    def test_rejects_malformed_bodies(self, body, excerpt):
+        with pytest.raises(WireError, match=None) as err:
+            parse_job_request(body)
+        assert excerpt in str(err.value)
+
+    def test_rejects_unknown_backend(self):
+        doc = fast_spec().to_dict()
+        doc["backend"] = "quantum"
+        with pytest.raises(WireError, match="quantum"):
+            parse_job_request(json.dumps({"spec": doc}).encode())
+
+    def test_rejects_non_string_label(self):
+        body = json.dumps({"spec": fast_spec().to_dict(), "label": 7})
+        with pytest.raises(WireError, match="label"):
+            parse_job_request(body.encode())
+
+
+# -- job spool --------------------------------------------------------------------
+
+
+class TestJobStore:
+    def test_record_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = Job([fast_spec()], label="spooled")
+        job.mark_running()
+        job.finish_ok([{"key": "k", "stats": {"ipc": 1.0}}])
+        store.save(job)
+        (loaded,) = store.load_all()
+        assert loaded.id == job.id
+        assert loaded.label == "spooled"
+        assert loaded.state == "done"
+        assert loaded.specs == job.specs
+        assert loaded.runs == job.runs
+
+    def test_load_all_skips_garbage(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.save(Job([fast_spec()]))
+        (tmp_path / "junk.job.json").write_text("{torn")
+        assert len(store.load_all()) == 1
+
+    def test_load_all_missing_dir(self, tmp_path):
+        assert JobStore(tmp_path / "nope").load_all() == []
+
+
+# -- live HTTP --------------------------------------------------------------------
+
+
+def _boot(tmp_path, **kw):
+    """Start a service on an ephemeral port; returns (service, thread)."""
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    kw.setdefault("spool_dir", str(tmp_path / "spool"))
+    kw.setdefault("log", lambda msg: None)
+    svc = SimService(host="127.0.0.1", port=0, **kw)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(svc.run(ready=ready)), daemon=True
+    )
+    thread.start()
+    assert ready.wait(10), "service failed to start"
+    return svc, thread
+
+
+def _drain(svc, thread):
+    svc.request_drain_threadsafe()
+    thread.join(15)
+    assert not thread.is_alive(), "service failed to drain"
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc, thread = _boot(tmp_path)
+    yield svc
+    if thread.is_alive():
+        _drain(svc, thread)
+
+
+def _request(svc, method, path, body=None):
+    """One HTTP request; returns (status, parsed JSON body)."""
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{svc.port}{path}",
+        method=method,
+        data=json.dumps(body).encode() if body is not None else None,
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=15) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _await_job(svc, job_id, timeout=20.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, doc = _request(svc, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+class TestHTTP:
+    def test_submit_poll_results(self, service):
+        specs = [fast_spec(l2_latency=lat) for lat in (16, 64)]
+        status, doc = _request(
+            service, "POST", "/jobs",
+            {"specs": [s.to_dict() for s in specs], "label": "pair"},
+        )
+        assert status == 202
+        assert doc["state"] == "queued"
+        assert doc["n_specs"] == 2
+        final = _await_job(service, doc["id"])
+        assert final["state"] == "done"
+        assert final["error"] is None
+        assert final["counters"]["n_executed"] == 2
+        # runs come back in submission order, keyed like the CLI sweep doc
+        assert [r["key"] for r in final["runs"]] == [s.key() for s in specs]
+        for run in final["runs"]:
+            assert run["stats"]["committed"] > 0
+
+    def test_warm_resubmission_is_a_cache_hit(self, service):
+        spec = fast_spec(seed=3)
+        _, first = _request(service, "POST", "/jobs", {"spec": spec.to_dict()})
+        _await_job(service, first["id"])
+        _, second = _request(service, "POST", "/jobs", {"spec": spec.to_dict()})
+        final = _await_job(service, second["id"])
+        assert final["counters"] == {
+            **final["counters"], "n_cached": 1, "n_executed": 0,
+        }
+
+    def test_listing_and_metrics(self, service):
+        _, doc = _request(
+            service, "POST", "/jobs", {"spec": fast_spec(seed=9).to_dict()}
+        )
+        _await_job(service, doc["id"])
+        status, listing = _request(service, "GET", "/jobs")
+        assert status == 200
+        assert doc["id"] in [j["id"] for j in listing["jobs"]]
+        status, metrics = _request(service, "GET", "/metrics")
+        assert status == 200
+        assert metrics["jobs"]["submitted"] >= 1
+        assert metrics["jobs"]["completed"] >= 1
+        assert metrics["engine"]["n_executed"] >= 1
+        assert metrics["queue_depth"] == 0
+        assert metrics["draining"] is False
+        assert metrics["service_workers"] == len(service.engines)
+
+    def test_healthz(self, service):
+        status, doc = _request(service, "GET", "/healthz")
+        assert (status, doc["ok"], doc["draining"]) == (200, True, False)
+
+    def test_bad_body_is_400_not_an_accepted_job(self, service):
+        status, doc = _request(service, "POST", "/jobs", {"specs": []})
+        assert status == 400
+        assert "at least one spec" in doc["error"]
+        assert service.metrics.jobs_submitted == 0
+
+    def test_unknown_job_is_404(self, service):
+        status, doc = _request(service, "GET", "/jobs/deadbeef")
+        assert status == 404
+        assert "deadbeef" in doc["error"]
+
+    def test_unknown_route_is_404(self, service):
+        status, doc = _request(service, "GET", "/nope")
+        assert status == 404
+        assert "POST /jobs" in doc["routes"]
+
+    def test_wrong_method_is_405(self, service):
+        status, _ = _request(service, "POST", "/metrics", {})
+        assert status == 404 or status == 405
+
+    def test_events_stream_runs_to_terminal(self, service):
+        spec = fast_spec(seed=17)
+        _, doc = _request(service, "POST", "/jobs", {"spec": spec.to_dict()})
+        # the stream stays open until the job is terminal, then closes —
+        # reading to EOF therefore observes the whole lifecycle
+        url = f"http://127.0.0.1:{service.port}/jobs/{doc['id']}/events"
+        with urllib.request.urlopen(url, timeout=20) as resp:
+            lines = resp.read().decode().splitlines()
+        assert any("queued" in line for line in lines)
+        assert any("running" in line for line in lines)
+        assert any("done" in line for line in lines)
+        assert any(spec.label() in line for line in lines)
+
+
+# -- coalescing -------------------------------------------------------------------
+
+
+class _SlowAnalytic(Backend):
+    """Analytic results delivered slowly: holds a spec in flight long
+    enough for concurrent identical submissions to pile up behind it."""
+
+    name = "slow-analytic-test"
+    process_pool_worthwhile = False  # must run in-process: registered at runtime
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.n_runs = 0
+        self._lock = threading.Lock()
+
+    def run(self, spec):
+        with self._lock:
+            self.n_runs += 1
+        time.sleep(self.delay_s)
+        return get_backend("analytic").run(spec)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_posts_cost_one_execution(self, tmp_path):
+        """The acceptance criterion: K concurrent identical POST /jobs
+        produce exactly one engine execution — every other job either
+        borrows the in-flight result or hits the now-warm cache."""
+        backend = register_backend(_SlowAnalytic(delay_s=1.0))
+        try:
+            svc, thread = _boot(tmp_path, service_workers=4)
+            try:
+                spec = fast_spec()
+                doc = dict(spec.to_dict(), backend=backend.name)
+                k = 4
+                ids = []
+                for _ in range(k):
+                    status, reply = _request(svc, "POST", "/jobs", {"spec": doc})
+                    assert status == 202
+                    ids.append(reply["id"])
+                finals = [_await_job(svc, job_id) for job_id in ids]
+                assert [f["state"] for f in finals] == ["done"] * k
+                assert backend.n_runs == 1
+                assert sum(e.n_executed for e in svc.engines) == 1
+                assert sum(f["counters"]["n_executed"] for f in finals) == 1
+                assert sum(f["counters"]["n_coalesced"] for f in finals) >= 1
+                # every job reports the one result, byte-for-byte
+                stats = [f["runs"][0]["stats"] for f in finals]
+                assert all(s == stats[0] for s in stats)
+                _, metrics = _request(svc, "GET", "/metrics")
+                assert metrics["coalesced_specs"] >= 1
+                assert metrics["inflight_specs"] == 0
+            finally:
+                _drain(svc, thread)
+        finally:
+            from repro.engine.backends import _REGISTRY
+
+            _REGISTRY.pop(backend.name, None)
+
+    def test_failed_owner_propagates_to_borrowers(self, tmp_path):
+        class _Exploding(_SlowAnalytic):
+            name = "exploding-test"
+
+            def run(self, spec):
+                with self._lock:
+                    self.n_runs += 1
+                time.sleep(self.delay_s)
+                raise RuntimeError("boom at cycle 7")
+
+        backend = register_backend(_Exploding(delay_s=0.8))
+        try:
+            svc, thread = _boot(tmp_path, service_workers=2)
+            try:
+                doc = dict(fast_spec().to_dict(), backend=backend.name)
+                _, a = _request(svc, "POST", "/jobs", {"spec": doc})
+                _, b = _request(svc, "POST", "/jobs", {"spec": doc})
+                final_a = _await_job(svc, a["id"])
+                final_b = _await_job(svc, b["id"])
+                assert {final_a["state"], final_b["state"]} == {"failed"}
+                assert "boom at cycle 7" in (final_a["error"] or "")
+                # the borrower failed via the owner's exception, not a
+                # second execution of the doomed spec
+                assert backend.n_runs == 1
+            finally:
+                _drain(svc, thread)
+        finally:
+            from repro.engine.backends import _REGISTRY
+
+            _REGISTRY.pop(backend.name, None)
+
+
+# -- drain + recovery -------------------------------------------------------------
+
+
+class TestDrainAndRecovery:
+    def test_drain_finishes_inflight_and_persists(self, tmp_path):
+        backend = register_backend(_SlowAnalytic(delay_s=1.0))
+        try:
+            svc, thread = _boot(tmp_path, service_workers=1)
+            doc = dict(fast_spec().to_dict(), backend=backend.name)
+            _, reply = _request(svc, "POST", "/jobs", {"spec": doc})
+            deadline = time.time() + 10
+            while svc.jobs[reply["id"]].state == "queued":
+                assert time.time() < deadline
+                time.sleep(0.02)
+            # drain while the job is mid-simulation: it must finish, not die
+            _drain(svc, thread)
+            (job,) = [
+                j for j in JobStore(tmp_path / "spool").load_all()
+                if j.id == reply["id"]
+            ]
+            assert job.state == "done"
+            assert job.runs[0]["stats"]["committed"] > 0
+        finally:
+            from repro.engine.backends import _REGISTRY
+
+            _REGISTRY.pop(backend.name, None)
+
+    def test_restart_recovers_unfinished_jobs(self, tmp_path):
+        # a job the previous process accepted but never ran: written to
+        # the spool as queued, exactly what a hard kill leaves behind
+        spec = fast_spec(seed=21)
+        orphan = Job([spec], label="orphaned by a crash")
+        JobStore(tmp_path / "spool").save(orphan)
+        svc, thread = _boot(tmp_path)
+        try:
+            final = _await_job(svc, orphan.id)
+            assert final["state"] == "done"
+            assert final["runs"][0]["key"] == spec.key()
+            assert any("recovered" in line for line in svc.jobs[orphan.id].events)
+        finally:
+            _drain(svc, thread)
+
+    def test_restart_keeps_finished_jobs_queryable(self, tmp_path):
+        svc, thread = _boot(tmp_path)
+        _, reply = _request(
+            svc, "POST", "/jobs", {"spec": fast_spec(seed=5).to_dict()}
+        )
+        first = _await_job(svc, reply["id"])
+        _drain(svc, thread)
+        svc2, thread2 = _boot(tmp_path)
+        try:
+            status, again = _request(svc2, "GET", f"/jobs/{reply['id']}")
+            assert status == 200
+            assert again["state"] == "done"
+            assert again["runs"] == first["runs"]
+        finally:
+            _drain(svc2, thread2)
+
+    def test_draining_rejects_new_jobs_with_503(self, tmp_path):
+        svc, thread = _boot(tmp_path)
+        # flip the flag without closing the listener: the 503 path, not
+        # a connection refusal, is what a mid-drain client must see
+        svc._draining = True
+        status, doc = _request(
+            svc, "POST", "/jobs", {"spec": fast_spec().to_dict()}
+        )
+        assert status == 503
+        assert "draining" in doc["error"]
+        status, health = _request(svc, "GET", "/healthz")
+        assert health["draining"] is True
+        svc._draining = False
+        _drain(svc, thread)
