@@ -30,9 +30,12 @@ Subcommands:
   ``GET /jobs/{id}/events``, and SIGTERM drains gracefully.
 
 ``figure``, ``sweep``, ``run`` and ``bench`` take ``--backend
-{cycle,analytic}``: the faithful staged kernel, or the mean-value fast
-model (microseconds per run) for sweeps far beyond what cycle accuracy
-can afford.
+{cycle,analytic,hybrid}``: the faithful staged kernel, the mean-value
+fast model (microseconds per run) for sweeps far beyond what cycle
+accuracy can afford, or the multi-fidelity router that screens whole
+grids analytically with calibrated error bars and promotes only the
+cells that matter (extrema, decision boundaries, over-budget bars) to
+cycle fidelity.
 
 Every simulation goes through the experiment engine: batches fan out over
 worker processes (``--workers``, default ``$REPRO_WORKERS`` or all cores)
@@ -46,10 +49,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
-from repro.engine import Engine, ResultCache, RunSpec, Sweep, backend_names
+from repro.engine import (
+    Engine,
+    ResultCache,
+    RouterSpec,
+    RunSpec,
+    Sweep,
+    backend_names,
+)
 from repro.experiments.ablations import ABLATIONS
 from repro.experiments.figures import FIGURES, LATENCIES
 from repro.experiments import conformance as conf_mod
@@ -156,6 +167,36 @@ def _cmd_ablation(args) -> int:
 
 def _int_list(text: str) -> list[int]:
     return [int(tok) for tok in text.split(",") if tok.strip()]
+
+
+def _promote_budget(text: str) -> float | int:
+    """``--promote-budget`` value: a fraction (``0.15``) or an absolute
+    cell count (``20``); :class:`RouterSpec` validates the range."""
+    return float(text) if any(c in text for c in ".eE") else int(text)
+
+
+def _router_from_args(args) -> "RouterSpec | None | str":
+    """The sweep's :class:`RouterSpec` (``None`` off-hybrid), or an
+    error string when router flags were given without ``--backend
+    hybrid`` or fail validation."""
+    flags = {
+        "promote_budget": args.promote_budget,
+        "error_budget": args.error_budget,
+        "corpus": args.router_corpus,
+    }
+    given = {k: v for k, v in flags.items() if v is not None}
+    if args.backend != "hybrid":
+        if given:
+            names = ", ".join(
+                "--" + k.replace("_", "-").replace("corpus", "router-corpus")
+                for k in given
+            )
+            return f"{names}: only meaningful with --backend hybrid"
+        return None
+    try:
+        return RouterSpec(**given)
+    except (TypeError, ValueError) as exc:
+        return f"router config: {exc.args[0] if exc.args else exc}"
 
 
 def _load_profile_files(args) -> int:
@@ -267,6 +308,10 @@ def _cmd_sweep(args) -> int:
     if isinstance(mems, str):
         print(mems, file=sys.stderr)
         return 2
+    router = _router_from_args(args)
+    if isinstance(router, str):
+        print(router, file=sys.stderr)
+        return 2
     if args.workload:
         base = _resolve_workload_arg(args.workload)
         if isinstance(base, str):
@@ -296,6 +341,7 @@ def _cmd_sweep(args) -> int:
             seed=args.seed,
             commits=commits_axis,
             backend=args.backend,
+            router=router,
             **_deadlock_overrides(args),
         )
     elif args.benches:
@@ -315,6 +361,7 @@ def _cmd_sweep(args) -> int:
             seed=args.seed,
             commits=commits_axis,
             backend=args.backend,
+            router=router,
             **_deadlock_overrides(args),
         )
     else:
@@ -327,12 +374,26 @@ def _cmd_sweep(args) -> int:
             seed=args.seed,
             commits_per_thread=commits_axis,
             backend=args.backend,
+            router=router,
             **_deadlock_overrides(args),
         )
     engine = _engine_from_args(args)
     t0 = time.time()
     results = engine.map(sweep)
     elapsed = round(time.time() - t0, 3)
+
+    def _entry(spec, stats):
+        entry = {
+            "label": spec.label(),
+            "key": spec.key(),
+            "spec": spec.to_dict(),
+            "stats": stats.snapshot(),
+        }
+        prov = results.router.get(spec)
+        if prov is not None:
+            entry["router"] = dict(prov)
+        return entry
+
     doc = {
         "n_runs": results.n_runs,
         "n_cached": results.n_cached,
@@ -340,24 +401,24 @@ def _cmd_sweep(args) -> int:
         "n_forked": results.n_forked,
         "warmup_cycles_saved": results.warmup_cycles_saved,
         "elapsed_s": elapsed,
-        "runs": [
-            {
-                "label": spec.label(),
-                "key": spec.key(),
-                "spec": spec.to_dict(),
-                "stats": stats.snapshot(),
-            }
-            for spec, stats in results.items()
-        ],
+        "runs": [_entry(spec, stats) for spec, stats in results.items()],
     }
+    if results.n_screened or results.n_promoted:
+        doc["n_screened"] = results.n_screened
+        doc["n_promoted"] = results.n_promoted
+        doc["cycle_cells_saved"] = results.cycle_cells_saved
     print(json.dumps(doc, indent=2))
-    print(
+    summary = (
         f"[sweep: {results.n_runs} runs, {results.n_cached} cached, "
         f"{results.n_executed} simulated, {results.n_forked} forked "
-        f"({results.warmup_cycles_saved} warmup cycles saved), "
-        f"{elapsed:.1f}s]",
-        file=sys.stderr,
+        f"({results.warmup_cycles_saved} warmup cycles saved)"
     )
+    if results.n_screened or results.n_promoted:
+        summary += (
+            f", {results.n_screened} screened / {results.n_promoted} "
+            f"promoted ({results.cycle_cells_saved} cycle cells saved)"
+        )
+    print(f"{summary}, {elapsed:.1f}s]", file=sys.stderr)
     return 0
 
 
@@ -396,7 +457,63 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _fit_report(cells: list[dict], quantile: float) -> int:
+    """Fit the router error model on a train slice, report held-out
+    interval coverage, gate at :data:`~repro.router.errmodel
+    .COVERAGE_MIN`.  This is ``conformance --fit`` and the CI drift
+    gate."""
+    from repro.router.errmodel import COVERAGE_MIN, ErrorModel, split_cells
+
+    train, holdout = split_cells(cells)
+    model = ErrorModel.fit(train, quantile=quantile)
+    coverage = model.coverage(holdout)
+    hws = sorted(
+        model.half_width_rel(c["features"]) for c in cells
+    )
+    print(
+        f"\nerror model: {len(train)} train / {len(holdout)} held-out "
+        f"cells, {len(model.regions)} regions, q={quantile}, "
+        f"key {model.key()}"
+    )
+    print(
+        f"relative half-widths: min {hws[0] * 100:.1f}%  "
+        f"median {hws[len(hws) // 2] * 100:.1f}%  max {hws[-1] * 100:.1f}%"
+    )
+    verdict = "PASS" if coverage >= COVERAGE_MIN else "FAIL"
+    print(
+        f"held-out interval coverage {coverage * 100:.1f}% "
+        f"(gate {COVERAGE_MIN * 100:.0f}%) -> {verdict}"
+    )
+    if coverage < COVERAGE_MIN:
+        print(
+            f"\nCALIBRATION FAILURE: the fitted error bars cover only "
+            f"{coverage * 100:.1f}% of held-out cells — the analytic "
+            "model drifted from the corpus; regenerate it with "
+            "'repro-sim conformance --out'",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_conformance(args) -> int:
+    from repro.router.errmodel import corpus_from_conformance, load_corpus
+
+    if args.corpus:
+        # drift gate: no simulation at all — fit from the committed
+        # corpus and check the calibration still holds out-of-sample
+        if not args.fit:
+            print("--corpus is only meaningful with --fit", file=sys.stderr)
+            return 2
+        try:
+            cells = load_corpus(args.corpus)
+        except (OSError, ValueError) as exc:
+            print(f"--corpus: {exc}", file=sys.stderr)
+            return 2
+        print(f"[conformance] fitting from {args.corpus} "
+              f"({len(cells)} cells)", file=sys.stderr)
+        return _fit_report(cells, quantile=args.quantile)
+
     engine = _engine_from_args(args)
     doc = conf_mod.run_conformance(
         quick=args.quick,
@@ -411,6 +528,19 @@ def _cmd_conformance(args) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
         print(f"\n[wrote {args.output}]", file=sys.stderr)
+    rc = 0
+    if args.out:
+        corpus = corpus_from_conformance(doc)
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(corpus, fh, indent=2)
+            fh.write("\n")
+        print(f"\n[wrote corpus {args.out}: {corpus['n_cells']} cells]",
+              file=sys.stderr)
+    if args.fit:
+        rc = _fit_report(
+            corpus_from_conformance(doc)["cells"], quantile=args.quantile
+        )
     if not doc["passed"]:
         print(
             f"\nCONFORMANCE FAILURE: mean |IPC err| "
@@ -419,7 +549,7 @@ def _cmd_conformance(args) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return rc
 
 
 def _cmd_golden(args) -> int:
@@ -687,9 +817,11 @@ def build_parser() -> argparse.ArgumentParser:
     backend_flags = argparse.ArgumentParser(add_help=False)
     backend_flags.add_argument(
         "--backend", choices=backend_names(), default="cycle",
-        help="simulation engine: 'cycle' (faithful staged kernel) or "
+        help="simulation engine: 'cycle' (faithful staged kernel), "
              "'analytic' (mean-value fast model, microseconds per run; "
-             "validated by 'repro-sim conformance')",
+             "validated by 'repro-sim conformance'), or 'hybrid' (the "
+             "multi-fidelity router: analytic screens with calibrated "
+             "error bars, cycle verifies the cells that matter)",
     )
 
     profile_flags = argparse.ArgumentParser(add_help=False)
@@ -798,6 +930,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "the cache (floor 2); results are bit-identical "
                         "to cold runs, only faster. Snapshots persist in "
                         "the result cache for later sweeps.")
+    g = p.add_argument_group(
+        "router (--backend hybrid)",
+        "multi-fidelity routing: the whole grid is screened on the "
+        "analytic backend with calibrated IPC error bars, and only the "
+        "cells that matter (figure extrema, decision boundaries whose "
+        "ranking flips within the error bar, cells over the error "
+        "budget) are promoted to the cycle backend",
+    )
+    g.add_argument("--promote-budget", type=_promote_budget, default=None,
+                   metavar="FRAC|N",
+                   help="cap on promoted cells: a fraction of the grid "
+                        "(0 < f <= 1) or an absolute cell count "
+                        "(default: 0.15)")
+    g.add_argument("--error-budget", type=float, default=None,
+                   metavar="FRAC",
+                   help="promote every cell whose relative IPC error bar "
+                        "half-width exceeds FRAC (still capped by the "
+                        "promote budget)")
+    g.add_argument("--router-corpus", default=None, metavar="PATH",
+                   help="conformance corpus the error model is fitted "
+                        "from (default: the committed "
+                        "benchmarks/conformance/corpus.json)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -911,6 +1065,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the conformance JSON document here",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="distill the per-cell results into a conformance *corpus* — "
+             "the router error model's training data (the repo commits "
+             "one at benchmarks/conformance/corpus.json)",
+    )
+    p.add_argument(
+        "--fit", action="store_true",
+        help="fit the router error model and gate held-out interval "
+             "coverage at 90%% (on the fresh results, or on --corpus "
+             "without simulating anything)",
+    )
+    p.add_argument(
+        "--corpus", default=None, metavar="PATH",
+        help="with --fit: fit from this committed corpus instead of "
+             "running the grid — the CI drift gate",
+    )
+    p.add_argument(
+        "--quantile", type=float, default=0.95, metavar="Q",
+        help="error-bar quantile the model is fitted for (default: 0.95)",
     )
     p.set_defaults(func=_cmd_conformance)
 

@@ -16,9 +16,11 @@ same split the paper applies to the processor pipeline. Three layers:
   and interrupted sweeps resume for free.
 * **Backends** (:mod:`repro.engine.backends`) — the registry mapping
   ``RunSpec.backend`` names to simulation engines: ``"cycle"`` (the staged
-  cycle-accurate kernel) and ``"analytic"`` (the mean-value fast model in
-  :mod:`repro.model`). The name is part of the spec's content hash, so the
-  cache never mixes backends.
+  cycle-accurate kernel), ``"analytic"`` (the mean-value fast model in
+  :mod:`repro.model`) and ``"hybrid"`` (the multi-fidelity router in
+  :mod:`repro.router`: analytic screens with calibrated error bars,
+  cycle verifies the cells that matter). The name is part of the spec's
+  content hash, so the cache never mixes backends.
 
 Typical driver::
 
@@ -44,11 +46,13 @@ from repro.engine.scheduler import (
     submit,
 )
 from repro.engine.spec import RunSpec, Sweep, scale_factor
+from repro.router.spec import RouterSpec
 
 __all__ = [
     "Backend",
     "CACHE_DIR_ENV",
     "Engine",
+    "RouterSpec",
     "backend_names",
     "get_backend",
     "register_backend",

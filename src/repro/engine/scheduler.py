@@ -114,7 +114,16 @@ def _tail_payload(
 
 
 class SweepResult(dict):
-    """``RunSpec -> SimStats`` in submission order, plus hit/miss counts."""
+    """``RunSpec -> SimStats`` in submission order, plus hit/miss counts.
+
+    When the batch contained grid-routing specs (the ``"hybrid"``
+    backend), ``n_cached``/``n_executed``/``n_forked`` include the
+    routed cells' underlying sub-fidelity runs — a hybrid cell costs one
+    analytic run plus, if promoted, one cycle run, so these may exceed
+    ``n_runs`` — and :attr:`router` maps each routed spec to its routing
+    provenance (``fidelity``, ``reason``, the IPC interval, the error
+    model's content key).
+    """
 
     def __init__(
         self,
@@ -123,6 +132,9 @@ class SweepResult(dict):
         n_executed: int = 0,
         n_forked: int = 0,
         warmup_cycles_saved: int = 0,
+        n_screened: int = 0,
+        n_promoted: int = 0,
+        cycle_cells_saved: int = 0,
     ):
         super().__init__(items)
         self.n_cached = n_cached
@@ -132,6 +144,15 @@ class SweepResult(dict):
         self.n_forked = n_forked
         #: simulated warm-up cycles those restores skipped, summed
         self.warmup_cycles_saved = warmup_cycles_saved
+        #: routed cells answered analytically (with calibrated error bars)
+        self.n_screened = n_screened
+        #: routed cells promoted to — and answered by — the cycle backend
+        self.n_promoted = n_promoted
+        #: cycle runs the router avoided (== n_screened; kept as its own
+        #: counter so dashboards don't have to know the identity)
+        self.cycle_cells_saved = cycle_cells_saved
+        #: ``RunSpec -> provenance dict`` for routed specs (empty otherwise)
+        self.router: dict[RunSpec, dict] = {}
 
     @property
     def n_runs(self) -> int:
@@ -154,8 +175,9 @@ class Engine:
     (default) keeps every cell cold.
 
     ``progress`` is an optional ``callback(event, spec)`` invoked as each
-    result lands — ``event`` is one of ``"cached"``, ``"executed"`` or
-    ``"forked"`` — so long-running maps can be observed live (the job
+    result lands — ``event`` is one of ``"cached"``, ``"executed"``,
+    ``"forked"``, or for grid-routed (hybrid) specs ``"screened"`` /
+    ``"promoted"`` — so long-running maps can be observed live (the job
     server streams these as ``/jobs/{id}/events`` lines).  Callbacks run
     on the scheduling thread between result arrivals; a raising callback
     is swallowed, because observability must never corrupt a sweep.
@@ -178,6 +200,10 @@ class Engine:
         self.n_executed = 0
         self.n_forked = 0
         self.warmup_cycles_saved = 0
+        # multi-fidelity routing totals (hybrid-backend specs only)
+        self.n_screened = 0
+        self.n_promoted = 0
+        self.cycle_cells_saved = 0
 
     @classmethod
     def serial(cls) -> "Engine":
@@ -188,9 +214,21 @@ class Engine:
         """Run every spec; return results keyed by spec, input-ordered."""
         ordered = list(specs)
         unique = list(dict.fromkeys(ordered))
+        # Grid-routing backends (the multi-fidelity router) see the whole
+        # batch at once: which cells deserve cycle fidelity is a function
+        # of the grid, not of any single spec.  Routed specs bypass the
+        # memo/cache on purpose — both underlying fidelities are cached
+        # under their own keys, and re-deriving the routing from them
+        # (microseconds) is what keeps warm and cold hybrid sweeps
+        # byte-identical even when the promote budget changed in between.
+        routed = [s for s in unique if get_backend(s.backend).routes_grids]
+        direct = (
+            unique if not routed
+            else [s for s in unique if not get_backend(s.backend).routes_grids]
+        )
         done: dict[RunSpec, SimStats] = {}
         misses: list[RunSpec] = []
-        for spec in unique:
+        for spec in direct:
             hit = self._memo.get(spec)
             if hit is None and self.cache is not None:
                 hit = self.cache.get(spec)
@@ -225,18 +263,39 @@ class Engine:
             for spec in inline:
                 done[spec] = self._record(spec, spec.execute())
 
-        n_cached = len(unique) - n_miss
+        n_cached = len(direct) - n_miss
         self.n_cached += n_cached
         self.n_executed += n_miss
         self.n_forked += n_forked
         self.warmup_cycles_saved += cycles_saved
-        return SweepResult(
+
+        routing: dict = {}
+        if routed:
+            # route_grid maps the sub-fidelity specs through *this*
+            # engine (recursive map calls), so the lifetime totals above
+            # already absorbed that work; only the routing-specific
+            # totals are new here.
+            from repro.router.hybrid import route_grid
+
+            routing = route_grid(routed, self, done)
+            self.n_screened += routing["n_screened"]
+            self.n_promoted += routing["n_promoted"]
+            self.cycle_cells_saved += routing["cycle_cells_saved"]
+
+        result = SweepResult(
             ((spec, done[spec]) for spec in unique),
-            n_cached=n_cached,
-            n_executed=n_miss,
-            n_forked=n_forked,
-            warmup_cycles_saved=cycles_saved,
+            n_cached=n_cached + routing.get("n_cached", 0),
+            n_executed=n_miss + routing.get("n_executed", 0),
+            n_forked=n_forked + routing.get("n_forked", 0),
+            warmup_cycles_saved=(
+                cycles_saved + routing.get("warmup_cycles_saved", 0)
+            ),
+            n_screened=routing.get("n_screened", 0),
+            n_promoted=routing.get("n_promoted", 0),
+            cycle_cells_saved=routing.get("cycle_cells_saved", 0),
         )
+        result.router = routing.get("provenance", {})
+        return result
 
     def run(self, spec: RunSpec) -> SimStats:
         """Convenience: one spec through the same memo/cache path."""

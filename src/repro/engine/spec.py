@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, fields, replace as dataclasses_replace
 from typing import Any, Iterable, Iterator
 
 from repro.memory.spec import MemSpec
+from repro.router.spec import RouterSpec
 from repro.stats.counters import SimStats
 from repro.workloads.spec import (
     COMMITS_PER_THREAD,
@@ -116,6 +117,13 @@ class RunSpec:
     #: machine — the cache trades a rare duplicate run for never having
     #: to prove two descriptions equivalent.
     mem: MemSpec | None = None
+    #: multi-fidelity router configuration (see :mod:`repro.router`);
+    #: only the ``"hybrid"`` backend reads it. ``None`` means the router
+    #: defaults — and is also what rides in retargeted sub-specs, so a
+    #: promoted cell shares its cache entry with a plain cycle run.
+    #: Serialized only when set, keeping every pre-router spec hash (and
+    #: therefore the whole cache and golden corpus) stable.
+    router: RouterSpec | None = None
     l2_latency: int = 16
     decoupled: bool = True
     scale_with_latency: bool = False   # section-2 resource scaling
@@ -140,6 +148,7 @@ class RunSpec:
         scale: float | None = None,
         backend: str = "cycle",
         mem: MemSpec | None = None,
+        router: RouterSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """Any declarative workload — preset, file or hand-built — on a
@@ -149,6 +158,7 @@ class RunSpec:
             workload=workload,
             backend=backend,
             mem=mem,
+            router=router,
             l2_latency=l2_latency,
             decoupled=decoupled,
             scale_with_latency=scale_with_latency,
@@ -172,6 +182,7 @@ class RunSpec:
         scale: float | None = None,
         backend: str = "cycle",
         mem: MemSpec | None = None,
+        router: RouterSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-3 run: rotated SPEC FP95 mix on all contexts
@@ -186,6 +197,7 @@ class RunSpec:
             scale=scale,
             backend=backend,
             mem=mem,
+            router=router,
             **config_overrides,
         )
 
@@ -202,6 +214,7 @@ class RunSpec:
         scale: float | None = None,
         backend: str = "cycle",
         mem: MemSpec | None = None,
+        router: RouterSpec | None = None,
         **config_overrides,
     ) -> "RunSpec":
         """A paper-section-2 run: a single benchmark on one context (a
@@ -220,6 +233,7 @@ class RunSpec:
             scale=scale,
             backend=backend,
             mem=mem,
+            router=router,
             **config_overrides,
         )
 
@@ -236,6 +250,11 @@ class RunSpec:
                 f"mem must be a MemSpec or None, got "
                 f"{type(self.mem).__name__}"
             )
+        if self.router is not None and not isinstance(self.router, RouterSpec):
+            raise ValueError(
+                f"router must be a RouterSpec or None, got "
+                f"{type(self.router).__name__}"
+            )
 
     # -- identity ----------------------------------------------------------------
 
@@ -244,8 +263,14 @@ class RunSpec:
         return self.workload.n_threads
 
     def to_dict(self) -> dict:
-        """JSON-safe representation; round-trips through :meth:`from_dict`."""
-        return {
+        """JSON-safe representation; round-trips through :meth:`from_dict`.
+
+        ``router`` is emitted only when set: every spec without router
+        config keeps the exact serialization (and content hash) it had
+        before the router subsystem existed, so the result cache and the
+        golden corpus survived the field's introduction untouched.
+        """
+        doc = {
             "workload": self.workload.to_dict(),
             "backend": self.backend,
             "mem": self.mem.to_dict() if self.mem is not None else None,
@@ -258,6 +283,9 @@ class RunSpec:
             "scale": self.scale,
             "config_overrides": dict(self.config_overrides),
         }
+        if self.router is not None:
+            doc["router"] = self.router.to_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, d: dict) -> "RunSpec":
@@ -268,6 +296,10 @@ class RunSpec:
             kw["mem"] = MemSpec.from_dict(d["mem"])
         else:
             kw.pop("mem", None)
+        if d.get("router") is not None:
+            kw["router"] = RouterSpec.from_dict(d["router"])
+        else:
+            kw.pop("router", None)
         kw["config_overrides"] = tuple(
             sorted((d.get("config_overrides") or {}).items())
         )

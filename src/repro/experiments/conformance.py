@@ -26,6 +26,7 @@ import time
 
 from repro.engine import RunSpec, Sweep, submit
 from repro.memory.spec import mem_preset
+from repro.router.errmodel import features_of
 
 #: gating tolerance: mean absolute relative IPC error over the grid
 TOLERANCE_IPC = 0.15
@@ -137,6 +138,10 @@ def run_conformance(
         cells.append(
             {
                 "label": spec.label(),
+                # the error-model features (repro.router.errmodel) ride
+                # along so a corpus distilled from this document trains
+                # without re-deriving them from labels
+                "features": features_of(spec),
                 "cycle": {
                     "ipc": c.ipc,
                     "perceived": c.perceived_load_latency,

@@ -1,0 +1,296 @@
+"""Calibrated error model: per-cell IPC error bars for the fast model.
+
+The conformance suite (``repro-sim conformance``) measures, per grid
+cell, how far the analytic backend's IPC lands from the cycle backend's.
+Those measurements — persisted as a committed corpus by ``conformance
+--out`` (``benchmarks/conformance/corpus.json``) — are the training data
+here: cells are grouped into **config regions** (mode x thread count x
+latency band x memory hierarchy), and each region gets a signed bias
+(median relative error) and a half-width (the :attr:`ErrorModel.quantile`
+quantile of the bias-corrected |error|).  At routing time the model turns
+one analytic IPC into an interval ``[lo, hi]`` expected to cover the true
+cycle IPC with roughly ``quantile`` probability — the error bar the
+hybrid backend attaches to every screened cell and feeds to its
+promotion policies.
+
+Regions with too few samples fall back to a coarser region (latency band
+dropped), then to the global pool, and every half-width is inflated by
+:data:`INFLATE` and floored at :data:`HW_FLOOR` — calibration is checked
+against a held-out corpus slice (:func:`split_cells` +
+:meth:`ErrorModel.coverage`), which ``conformance --fit`` and the CI
+drift gate keep above 90%.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+CORPUS_SCHEMA = "repro-conformance-corpus/1"
+
+#: a region needs at least this many training cells to stand on its own;
+#: below it the model falls back to the coarser region, then the globe
+MIN_SAMPLES = 5
+
+#: fitted half-widths are multiplied by this before use: the corpus is a
+#: finite sample and the router would rather over-cover than mis-rank
+INFLATE = 1.3
+
+#: and never fall below this relative half-width (quantization noise on
+#: short runs alone exceeds it)
+HW_FLOOR = 0.01
+
+#: the calibration gate: the fitted intervals must cover at least this
+#: fraction of a held-out corpus slice (``conformance --fit`` and the CI
+#: drift gate both enforce it)
+COVERAGE_MIN = 0.90
+
+#: L2-latency bands used as the finest region axis
+_LAT_BANDS = ((32, "low"), (128, "mid"))
+
+_EPS = 1e-12
+
+
+def _lat_band(latency: int) -> str:
+    for bound, name in _LAT_BANDS:
+        if latency < bound:
+            return name
+    return "high"
+
+
+def features_of(spec) -> dict:
+    """The error-model features of one :class:`RunSpec` — everything the
+    conformance data showed the analytic error actually varies with."""
+    return {
+        "mode": "dec" if spec.decoupled else "non",
+        "threads": min(spec.workload.n_threads, 4),
+        "lat": _lat_band(spec.l2_latency),
+        "mem": spec.mem.name if spec.mem is not None else "classic",
+    }
+
+
+def _region(features: dict) -> str:
+    return (
+        f"{features['mode']}|t{features['threads']}"
+        f"|{features['lat']}|{features['mem']}"
+    )
+
+
+def _coarse_region(features: dict) -> str:
+    return f"{features['mode']}|t{features['threads']}|{features['mem']}"
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending list (numpy-free so
+    the router never depends on the optional accelerator stack)."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def _fit_pool(errors: list[float], quantile: float) -> dict:
+    """Bias + half-width of one sample pool of signed relative errors."""
+    ordered = sorted(errors)
+    bias = _quantile(ordered, 0.5)
+    spread = sorted(abs(e - bias) for e in errors)
+    # small pools use their max deviation: a quantile of 4 points is
+    # mostly interpolation noise, and under-covering is the costly error
+    if len(spread) < MIN_SAMPLES:
+        hw = spread[-1] if spread else 0.0
+    else:
+        hw = _quantile(spread, quantile)
+    return {"n": len(errors), "bias": bias, "hw": hw}
+
+
+@dataclass
+class ErrorModel:
+    """Fitted per-region IPC error statistics; see the module docstring.
+
+    ``regions`` maps a region key (fine or coarse) to
+    ``{"n", "bias", "hw"}``; ``global_pool`` is the all-cells fallback.
+    """
+
+    quantile: float = 0.95
+    regions: dict[str, dict] = field(default_factory=dict)
+    global_pool: dict = field(
+        default_factory=lambda: {"n": 0, "bias": 0.0, "hw": 0.25}
+    )
+
+    @classmethod
+    def fit(cls, cells: list[dict], quantile: float = 0.95) -> "ErrorModel":
+        """Fit from corpus cells (``features`` + ``cycle_ipc`` +
+        ``analytic_ipc`` each); cells with a dead analytic IPC carry no
+        usable relative error and are skipped."""
+        pools: dict[str, list[float]] = {}
+        everything: list[float] = []
+        for cell in cells:
+            a = cell["analytic_ipc"]
+            if a <= _EPS:
+                continue
+            err = (cell["cycle_ipc"] - a) / a
+            everything.append(err)
+            for key in (_region(cell["features"]),
+                        _coarse_region(cell["features"])):
+                pools.setdefault(key, []).append(err)
+        model = cls(quantile=quantile)
+        if everything:
+            model.global_pool = _fit_pool(everything, quantile)
+        model.regions = {
+            key: _fit_pool(errs, quantile) for key, errs in pools.items()
+        }
+        return model
+
+    def _stats_for(self, features: dict) -> dict:
+        for key in (_region(features), _coarse_region(features)):
+            stats = self.regions.get(key)
+            if stats is not None and stats["n"] >= MIN_SAMPLES:
+                return stats
+        return self.global_pool
+
+    def interval(self, features: dict, analytic_ipc: float) -> tuple[float, float]:
+        """``(lo, hi)`` expected to cover the true cycle IPC.
+
+        The analytic prediction is re-centered by the region's bias and
+        widened by its (inflated, floored) half-width.  A dead analytic
+        IPC yields a degenerate ``(0, 0)`` interval — the router promotes
+        such cells unconditionally rather than trusting a zero.
+        """
+        if analytic_ipc <= _EPS:
+            return (0.0, 0.0)
+        stats = self._stats_for(features)
+        hw = max(stats["hw"] * INFLATE, HW_FLOOR)
+        center = analytic_ipc * (1.0 + stats["bias"])
+        return (
+            max(0.0, center - analytic_ipc * hw),
+            center + analytic_ipc * hw,
+        )
+
+    def half_width_rel(self, features: dict) -> float:
+        """The relative half-width used for ``features`` (the
+        ``--error-budget`` comparand)."""
+        return max(self._stats_for(features)["hw"] * INFLATE, HW_FLOOR)
+
+    def coverage(self, cells: list[dict]) -> float:
+        """Fraction of ``cells`` whose cycle IPC the intervals cover
+        (1.0 on an empty list: nothing failed to be covered)."""
+        if not cells:
+            return 1.0
+        hit = 0
+        for cell in cells:
+            lo, hi = self.interval(cell["features"], cell["analytic_ipc"])
+            if cell["analytic_ipc"] <= _EPS or lo <= cell["cycle_ipc"] <= hi:
+                # dead-analytic cells are always promoted, so the bar is
+                # never *reported* for them — count them covered
+                hit += 1
+        return hit / len(cells)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro-errmodel/1",
+            "quantile": self.quantile,
+            "global": dict(self.global_pool),
+            "regions": {k: dict(v) for k, v in sorted(self.regions.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ErrorModel":
+        return cls(
+            quantile=d["quantile"],
+            regions={k: dict(v) for k, v in d.get("regions", {}).items()},
+            global_pool=dict(d["global"]),
+        )
+
+    def key(self) -> str:
+        """Stable content hash (provenance for sweep documents)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# -- the corpus ------------------------------------------------------------------
+
+
+def default_corpus_path() -> Path:
+    """The committed corpus, anchored to the repository root (mirrors
+    :func:`repro.experiments.golden.default_root`); falls back to a
+    cwd-relative path for installed-package layouts."""
+    repo_root = Path(__file__).resolve().parents[3]
+    anchored = repo_root / "benchmarks" / "conformance" / "corpus.json"
+    if anchored.parent.parent.is_dir():
+        return anchored
+    return Path("benchmarks/conformance/corpus.json")
+
+
+def corpus_from_conformance(doc: dict) -> dict:
+    """Distill one ``run_conformance`` document into a corpus document
+    (only what the error model trains on, plus provenance)."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "quick": doc.get("quick"),
+        "seed": doc.get("seed"),
+        "n_cells": len(doc["cells"]),
+        "cells": [
+            {
+                "label": cell["label"],
+                "features": dict(cell["features"]),
+                "cycle_ipc": cell["cycle"]["ipc"],
+                "analytic_ipc": cell["analytic"]["ipc"],
+            }
+            for cell in doc["cells"]
+        ],
+    }
+
+
+def load_corpus(path: str | Path) -> list[dict]:
+    """The cells of one corpus file (schema-checked)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"{path} is not a conformance corpus (schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else None!r}; "
+            f"expected {CORPUS_SCHEMA!r}) — write one with "
+            "'repro-sim conformance --out'"
+        )
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ValueError(f"{path}: corpus has no cells")
+    return cells
+
+
+def split_cells(cells: list[dict], k: int = 3) -> tuple[list[dict], list[dict]]:
+    """Deterministic train/holdout split: every ``k``-th cell (by corpus
+    order) is held out.  Used by ``conformance --fit`` and the calibration
+    tests so the coverage number is always out-of-sample."""
+    train = [c for i, c in enumerate(cells) if i % k != 0]
+    holdout = [c for i, c in enumerate(cells) if i % k == 0]
+    return train, holdout
+
+
+_MODEL_CACHE: dict[tuple[str, float], ErrorModel] = {}
+
+
+def load_model(corpus: str, quantile: float) -> ErrorModel:
+    """The fitted model for a :class:`RouterSpec`'s corpus reference
+    (``"default"`` or a path), memoized per (path, quantile)."""
+    path = default_corpus_path() if corpus == "default" else Path(corpus)
+    cache_key = (str(path), quantile)
+    model = _MODEL_CACHE.get(cache_key)
+    if model is None:
+        try:
+            cells = load_corpus(path)
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"conformance corpus not found: {path} — write one with "
+                "'repro-sim conformance --out <path>' (the repo commits "
+                "the default at benchmarks/conformance/corpus.json)"
+            ) from None
+        model = ErrorModel.fit(cells, quantile=quantile)
+        _MODEL_CACHE[cache_key] = model
+    return model

@@ -1,0 +1,152 @@
+"""Promotion policies: which screened cells earn a cycle-backend run.
+
+Each policy nominates candidates with a score; the promote budget is a
+hard cap applied to the pooled, score-ranked nominations.  Everything is
+deterministic — scores are pure arithmetic over the analytic results and
+fitted intervals, and every ordering tie-breaks on the spec's content
+hash — so the same grid with the same error model always yields the
+byte-identical promotion set, serial or parallel, warm or cold cache
+(the determinism suite in ``tests/test_router.py`` gates this).
+
+Policies:
+
+* ``extrema`` — each figure group's best and worst cells (by analytic
+  IPC).  Figures lead with their extremes, so those cells are always
+  worth full fidelity.  A group is a curve in the usual figure sense:
+  the cells sharing everything but the swept L2 latency.
+* ``boundary`` — decision boundaries, two kinds: (a) mode boundaries —
+  a decoupled / non-decoupled pair whose intervals overlap, i.e. the
+  paper's central "is decoupling worth it here?" question flips inside
+  the error bar; (b) ranking boundaries — latency-adjacent cells in one
+  group whose intervals overlap, so their order along the curve is not
+  resolved analytically.  Scored by overlap depth: the most ambiguous
+  pairs are promoted first.
+* cells whose relative half-width exceeds ``RouterSpec.error_budget``
+  (when set) are nominated regardless, scored by the excess.
+* cells with a dead analytic IPC are promoted unconditionally — a zero
+  from the fast model is a screening failure, not a prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+_EPS = 1e-12
+
+#: score strata: unconditional > extrema > error-budget > boundary; the
+#: fractional part within a stratum orders by ambiguity/excess
+_SCORE_DEAD = 4.0
+_SCORE_EXTREMA = 3.0
+_SCORE_ERROR_BUDGET = 2.0
+_SCORE_BOUNDARY = 1.0
+
+
+@dataclass
+class ScreenedCell:
+    """One grid cell after the analytic pass: spec + prediction + bar."""
+
+    spec: object           # the hybrid RunSpec (router config attached)
+    ipc: float             # analytic IPC
+    lo: float              # fitted interval
+    hi: float
+    hw_rel: float          # relative half-width the interval used
+
+
+def _group_key(spec):
+    """Cells sharing a figure curve: everything but the swept latency
+    (and the router plumbing, which is identical across the grid)."""
+    return replace(spec, l2_latency=0)
+
+
+def _mode_key(spec):
+    """Cells that are the same point in every axis except mode."""
+    return replace(spec, decoupled=True)
+
+
+def _overlap_score(a: ScreenedCell, b: ScreenedCell) -> float | None:
+    """Ambiguity of a pair: overlap depth over combined width (``None``
+    when the intervals are disjoint — the ranking is analytic-certain)."""
+    overlap = min(a.hi, b.hi) - max(a.lo, b.lo)
+    if overlap <= 0:
+        return None
+    span = max(a.hi, b.hi) - min(a.lo, b.lo)
+    return overlap / max(span, _EPS)
+
+
+def _nominate(scores: dict, spec, score: float, reason: str) -> None:
+    """Keep the strongest nomination per cell."""
+    held = scores.get(spec)
+    if held is None or score > held[0]:
+        scores[spec] = (score, reason)
+
+
+def select_promotions(
+    cells: list[ScreenedCell], rspec
+) -> list[tuple[object, str]]:
+    """The promotion set for one routed grid, budget-capped and ranked.
+
+    Returns ``[(spec, reason), ...]`` in promotion-priority order; its
+    length never exceeds ``rspec.promote_cap(len(cells))``.
+    """
+    scores: dict[object, tuple[float, str]] = {}
+
+    for cell in cells:
+        if cell.ipc <= _EPS:
+            _nominate(scores, cell.spec, _SCORE_DEAD, "dead-analytic")
+        elif (
+            rspec.error_budget is not None
+            and cell.hw_rel > rspec.error_budget
+        ):
+            excess = min(cell.hw_rel / rspec.error_budget - 1.0, 0.999)
+            _nominate(
+                scores, cell.spec,
+                _SCORE_ERROR_BUDGET + excess, "error-budget",
+            )
+
+    groups: dict[object, list[ScreenedCell]] = {}
+    for cell in cells:
+        groups.setdefault(_group_key(cell.spec), []).append(cell)
+
+    if "extrema" in rspec.policies:
+        for members in groups.values():
+            ordered = sorted(
+                members, key=lambda c: (c.ipc, c.spec.key())
+            )
+            for cell in (ordered[0], ordered[-1]):
+                _nominate(scores, cell.spec, _SCORE_EXTREMA, "extrema")
+
+    if "boundary" in rspec.policies:
+        # (a) mode boundaries: decoupled vs non-decoupled twins
+        by_mode_key: dict[object, list[ScreenedCell]] = {}
+        for cell in cells:
+            by_mode_key.setdefault(_mode_key(cell.spec), []).append(cell)
+        for twins in by_mode_key.values():
+            if len(twins) == 2:
+                depth = _overlap_score(twins[0], twins[1])
+                if depth is not None:
+                    for cell in twins:
+                        _nominate(
+                            scores, cell.spec,
+                            _SCORE_BOUNDARY + depth * 0.999,
+                            "mode-boundary",
+                        )
+        # (b) ranking boundaries: latency-adjacent cells within a curve
+        for members in groups.values():
+            curve = sorted(
+                members, key=lambda c: (c.spec.l2_latency, c.spec.key())
+            )
+            for a, b in zip(curve, curve[1:]):
+                depth = _overlap_score(a, b)
+                if depth is not None:
+                    for cell in (a, b):
+                        _nominate(
+                            scores, cell.spec,
+                            _SCORE_BOUNDARY + depth * 0.999,
+                            "rank-boundary",
+                        )
+
+    ranked = sorted(
+        scores.items(), key=lambda item: (-item[1][0], item[0].key())
+    )
+    cap = rspec.promote_cap(len(cells))
+    return [(spec, reason) for spec, (_score, reason) in ranked[:cap]]

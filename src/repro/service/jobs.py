@@ -57,6 +57,7 @@ class Job:
         self.counters = {
             "n_cached": 0, "n_executed": 0, "n_forked": 0,
             "n_coalesced": 0, "warmup_cycles_saved": 0,
+            "n_screened": 0, "n_promoted": 0, "cycle_cells_saved": 0,
         }
         #: per-spec result entries, submission-ordered, populated on done
         self.runs: list[dict] = []
@@ -104,11 +105,17 @@ class Job:
         self.state = "done"
         self.finished = time.time()
         c = self.counters
-        self.emit(
+        line = (
             f"job {self.id}: done — {c['n_cached']} cached, "
             f"{c['n_executed']} executed, {c['n_forked']} forked, "
             f"{c['n_coalesced']} coalesced"
         )
+        if c["n_screened"] or c["n_promoted"]:
+            line += (
+                f", {c['n_screened']} screened / "
+                f"{c['n_promoted']} promoted"
+            )
+        self.emit(line)
 
     def finish_failed(self, error: str) -> None:
         self.error = error

@@ -35,6 +35,11 @@ class ServiceMetrics:
             "warmup_cycles_saved": sum(
                 e.warmup_cycles_saved for e in engines
             ),
+            "n_screened": sum(e.n_screened for e in engines),
+            "n_promoted": sum(e.n_promoted for e in engines),
+            "cycle_cells_saved": sum(
+                e.cycle_cells_saved for e in engines
+            ),
         }
         return {
             "uptime_s": round(time.time() - self.started, 3),

@@ -240,7 +240,8 @@ class SimService:
                 # the loop keeps serving requests and event streams
                 sweep = await loop.run_in_executor(None, run_map)
                 for name in ("n_cached", "n_executed", "n_forked",
-                             "warmup_cycles_saved"):
+                             "warmup_cycles_saved", "n_screened",
+                             "n_promoted", "cycle_cells_saved"):
                     job.counters[name] += getattr(sweep, name)
                 for spec, stats in sweep.items():
                     stats_dict = stats.to_dict()

@@ -90,6 +90,16 @@ class SimStats:
     prefetch_hits: int = 0
     prefetch_dropped: int = 0
 
+    # multi-fidelity router annotations (repro.router): set only on
+    # *screened* results returned by the hybrid backend — ``fidelity``
+    # becomes ``"analytic"`` and ``ipc_lo``/``ipc_hi`` carry the
+    # calibrated IPC error bar. Promoted cells pass through with these
+    # at their defaults, exactly as a pure cycle run produces them, so
+    # promotion never breaks byte-identity with the cycle backend.
+    fidelity: str = ""
+    ipc_lo: float = 0.0
+    ipc_hi: float = 0.0
+
     # -- derived metrics ---------------------------------------------------------
 
     @property
@@ -227,7 +237,7 @@ class SimStats:
 
     def snapshot(self) -> dict:
         """Plain-dict summary used by reports and experiment tables."""
-        return {
+        out = {
             "cycles": self.cycles,
             "committed": self.committed,
             "ipc": self.ipc,
@@ -256,3 +266,7 @@ class SimStats:
             "ap_slots": self.slot_fractions(Unit.AP),
             "ep_slots": self.slot_fractions(Unit.EP),
         }
+        if self.fidelity:
+            out["fidelity"] = self.fidelity
+            out["ipc_interval"] = [self.ipc_lo, self.ipc_hi]
+        return out

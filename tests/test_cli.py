@@ -341,6 +341,27 @@ class TestMemFlags:
         doc = json.loads(capsys.readouterr().out)
         assert doc["n_runs"] == 2
 
+    def test_sweep_mem_axis_crosses_workload_axis(self, capsys):
+        """--mem-axis x --workload-axis compose into one grid: every
+        combination appears exactly once, visible in the cell labels."""
+        assert main(["sweep", "--workload", "thrash4",
+                     "--workload-axis", "hot_frac=0.1,0.4",
+                     "--mem-axis", "prefetch_kind=none,nextline",
+                     "--latencies", "16,64",
+                     "--backend", "analytic"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["n_runs"] == 2 * 2 * 2
+        labels = [r["label"] for r in doc["runs"]]
+        assert len(set(labels)) == 8
+        for hot in ("hot_frac=0.1", "hot_frac=0.4"):
+            for kind in ("prefetch_kind=none", "prefetch_kind=nextline"):
+                for lat in ("L2=16", "L2=64"):
+                    assert sum(
+                        hot in lab and kind in lab and lat in lab
+                        for lab in labels
+                    ) == 1
+        assert len({r["key"] for r in doc["runs"]}) == 8
+
     def test_sweep_rejects_bad_mem_axis_field(self, capsys):
         assert main(["sweep", "--mem-axis", "prefetchkind=stream"]) == 2
         assert "did you mean 'prefetch_kind'" in capsys.readouterr().err

@@ -222,6 +222,39 @@ class TestHTTP:
         assert metrics["draining"] is False
         assert metrics["service_workers"] == len(service.engines)
 
+    def test_hybrid_job_streams_routing_events(self, service):
+        """A routed (hybrid-backend) job: screened/promoted progress
+        events stream live, and the routing counters land in the job
+        document and in /metrics."""
+        specs = [
+            fast_spec(backend="hybrid", l2_latency=lat, decoupled=dec)
+            for lat in (16, 64, 256) for dec in (True, False)
+        ]
+        _, doc = _request(
+            service, "POST", "/jobs",
+            {"specs": [s.to_dict() for s in specs], "label": "routed"},
+        )
+        final = _await_job(service, doc["id"])
+        assert final["state"] == "done"
+        c = final["counters"]
+        assert c["n_screened"] + c["n_promoted"] == len(specs)
+        assert 1 <= c["n_promoted"] <= 2  # default 0.15 budget on 6 cells
+        assert c["cycle_cells_saved"] == c["n_screened"]
+        url = f"http://127.0.0.1:{service.port}/jobs/{doc['id']}/events"
+        with urllib.request.urlopen(url, timeout=20) as resp:
+            lines = resp.read().decode()
+        assert "screened" in lines and "promoted" in lines
+        _, metrics = _request(service, "GET", "/metrics")
+        assert metrics["engine"]["n_screened"] >= c["n_screened"]
+        assert metrics["engine"]["n_promoted"] >= c["n_promoted"]
+        assert metrics["engine"]["cycle_cells_saved"] >= c["n_screened"]
+        # screened stats carry the error bar over the wire
+        screened = [r for r in final["runs"]
+                    if r["stats"].get("fidelity") == "analytic"]
+        assert len(screened) == c["n_screened"]
+        for run in screened:
+            assert run["stats"]["ipc_lo"] <= run["stats"]["ipc_hi"]
+
     def test_healthz(self, service):
         status, doc = _request(service, "GET", "/healthz")
         assert (status, doc["ok"], doc["draining"]) == (200, True, False)
