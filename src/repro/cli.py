@@ -400,6 +400,8 @@ def _cmd_sweep(args) -> int:
         "n_executed": results.n_executed,
         "n_forked": results.n_forked,
         "warmup_cycles_saved": results.warmup_cycles_saved,
+        "ff_jumps": results.ff_jumps,
+        "ff_cycles_skipped": results.ff_cycles_skipped,
         "elapsed_s": elapsed,
         "runs": [_entry(spec, stats) for spec, stats in results.items()],
     }
@@ -411,7 +413,9 @@ def _cmd_sweep(args) -> int:
     summary = (
         f"[sweep: {results.n_runs} runs, {results.n_cached} cached, "
         f"{results.n_executed} simulated, {results.n_forked} forked "
-        f"({results.warmup_cycles_saved} warmup cycles saved)"
+        f"({results.warmup_cycles_saved} warmup cycles saved, "
+        f"{results.ff_cycles_skipped} cycles fast-forwarded in "
+        f"{results.ff_jumps} jumps)"
     )
     if results.n_screened or results.n_promoted:
         summary += (

@@ -26,20 +26,27 @@ natural pipeline flow:
    each, stopping at a predicted-taken branch; mispredicted branches switch
    the thread onto a synthetic wrong path until they resolve.
 
-**Idle-cycle fast-forward.**  Under long L2 latencies a 1-thread machine
-spends most cycles completely idle: every issue-queue head waits on an
-in-flight memory or functional-unit event and no fetch, dispatch, commit
-or store drain can make progress.  ``run()`` detects those windows (every
-stage reports :meth:`~repro.core.stages.Stage.quiescent`) and jumps
-``cycle`` straight to the next completion event, bulk-attributing the
-skipped empty issue slots and perceived-latency stalls.  The resulting
+**Event-horizon fast-forward.**  Under long L2 latencies the machine
+spends most cycles stalled: issue-queue heads wait on in-flight memory or
+functional-unit events, or retry against a structurally refusing memory
+system, and no fetch, dispatch, commit or store drain can make progress.
+``run()`` computes the **event horizon** of such a window — the minimum
+over every stage's :meth:`~repro.core.stages.Stage.next_wake_cycle`, the
+next completion event and the deadlock/cycle-limit caps — and jumps
+``cycle`` straight to it, bulk-replaying the skipped empty issue slots,
+perceived-latency stalls and memory-refusal retries.  Because each stage
+reports its *own* earliest wake (rather than a binary all-idle vote), the
+jump also fires in partially idle windows: all issue heads blocked on
+in-flight misses while a store head retries against a pinned set, or one
+thread sleeping through another's structural stall.  The resulting
 statistics are *bit-identical* to the cycle-by-cycle walk — enforced by a
-differential test over the Figure-3 grid — because a window is only
-entered when each skipped cycle is provably a pure function of its
-round-robin phase.  ``step()`` always advances exactly one cycle, so
-cycle-granular tooling (e.g. :class:`~repro.stats.tracing.Tracer`) is
-unaffected; pass ``fast_forward=False`` to ``run()`` to force the
-per-cycle walk everywhere.
+differential test over the Figure-3 grid and randomized partial-idle
+scenarios — because a window is only entered when each skipped cycle is
+provably a pure function of its round-robin phase.  ``step()`` always
+advances exactly one cycle, so cycle-granular tooling (e.g.
+:class:`~repro.stats.tracing.Tracer`) is unaffected; pass
+``fast_forward=False`` to ``run()`` to force the per-cycle walk
+everywhere.
 """
 
 from __future__ import annotations
@@ -49,6 +56,12 @@ from repro.core.state import MachineState
 from repro.core.stages import build_stages
 from repro.isa.trace import Trace
 from repro.stats.counters import SimStats
+
+
+#: jumps shorter than this are declined — the wake scan costs about as
+#: much as walking a couple of cycles, so tiny windows aren't worth it
+#: (purely a throughput heuristic: walking is bit-identical to jumping)
+_MIN_JUMP = 8
 
 
 class SimulationError(RuntimeError):
@@ -76,12 +89,8 @@ class Processor:
         # time — run()'s inlined cycle loop calls these directly instead
         # of re-resolving six .tick attributes per simulated cycle
         self._ticks = tuple(s.tick for s in self.stages)
-        self._quiescents = tuple(s.quiescent for s in self.stages)
+        self._wakes = tuple(s.next_wake_cycle for s in self.stages)
         self._skips = tuple(s.skip for s in self.stages)
-        # fast-forward diagnostics (not part of SimStats: both stepping
-        # modes must produce bit-identical statistics)
-        self.ff_jumps = 0
-        self.ff_cycles_skipped = 0
 
     @classmethod
     def from_state(cls, state: MachineState) -> "Processor":
@@ -123,6 +132,18 @@ class Processor:
         return self.state.total_committed
 
     @property
+    def ff_jumps(self) -> int:
+        """Event-horizon jumps taken in the current measured region (lives
+        in :class:`SimStats`, so it resets, pickles and forks with the
+        rest of the statistics)."""
+        return self.state.stats.ff_jumps
+
+    @property
+    def ff_cycles_skipped(self) -> int:
+        """Cycles bulk-jumped (rather than walked) in the current region."""
+        return self.state.stats.ff_cycles_skipped
+
+    @property
     def deadlock_cycles(self) -> int:
         """Cycles without a commit before declaring deadlock (defaults to
         ``cfg.deadlock_cycles``; assignable per instance)."""
@@ -153,36 +174,60 @@ class Processor:
         )
 
     def _fast_forward(self, cycle_limit: int | None) -> int:
-        """Attempt one idle-window jump; returns the cycles skipped (0 when
-        the machine is not provably idle).
+        """Attempt one event-horizon jump; returns the cycles skipped (0
+        when some stage could act this very cycle).
 
-        Eligibility: every stage reports quiescent, so nothing can change
-        until the earliest completion event drains.  The jump target is
-        that event's cycle, capped by the caller's cycle limit and by the
-        deadlock horizon — reaching the horizon raises exactly the
-        :class:`SimulationError` the per-cycle walk would have raised, with
-        the same statistics attributed.
+        The horizon is the minimum of every stage's ``next_wake_cycle``,
+        the next completion event, the caller's cycle limit and the
+        deadlock horizon.  Skipped cycles count toward the deadlock
+        watchdog: reaching its horizon raises exactly the
+        :class:`SimulationError` the per-cycle walk would have raised, at
+        the same cycle, with the same statistics attributed.
+
+        A jump shorter than ``_MIN_JUMP`` cycles is declined before the
+        stage scan: the wake probes (which touch cache tags and MSHR
+        files) cost about as much as walking a couple of cycles, so on
+        event-dense workloads — short latencies, many threads with
+        staggered in-flight misses — the O(1) heap peek alone rejects
+        the attempt and the walk proceeds untaxed.  Walking and jumping
+        are bit-identical by contract, so this threshold is purely a
+        throughput heuristic.
         """
         st = self.state
-        for quiescent in self._quiescents:
-            if not quiescent(st):
-                return 0
+        now = st.cycle
+        floor = now + _MIN_JUMP
         target = st.last_commit_cycle + st.deadlock_cycles + 1
-        nxt = st.next_event_cycle()
-        if nxt is not None and nxt < target:
-            target = nxt
+        events = st.events
+        if events:
+            # inlined next_event_cycle(): one O(1) heap peek per jump
+            # attempt (the heap root is the minimum by the heap invariant;
+            # no rescan of the event list)
+            nxt = events[0][0]
+            if nxt <= now:
+                return 0  # a due event means writeback work this cycle
+            if nxt < target:
+                target = nxt
         if cycle_limit is not None and cycle_limit < target:
             target = cycle_limit
-        k = target - st.cycle
-        if k <= 0:
+        if target < floor:
             return 0
+        for wake in self._wakes:
+            w = wake(st)
+            if w is None:
+                continue
+            if w < floor:
+                return 0
+            if w < target:
+                target = w
+        k = target - now
         for skip in self._skips:
             skip(st, k)
         st.cycle = target
-        st.stats.cycles += k
-        self.ff_jumps += 1
-        self.ff_cycles_skipped += k
-        if st.cycle - st.last_commit_cycle > st.deadlock_cycles:
+        stats = st.stats
+        stats.cycles += k
+        stats.ff_jumps += 1
+        stats.ff_cycles_skipped += k
+        if target - st.last_commit_cycle > st.deadlock_cycles:
             self._raise_deadlock()
         return k
 
@@ -221,9 +266,6 @@ class Processor:
         for t in st.threads:
             t.committed = 0
         st.last_commit_cycle = st.cycle
-        # keep the fast-forward diagnostics in the same region as the stats
-        self.ff_jumps = 0
-        self.ff_cycles_skipped = 0
 
     def run(
         self,

@@ -8,22 +8,29 @@ the same cycle, modelling the natural pipeline flow), and the decoupled
 vs. unified machines differ only in which issue-stage variant the list
 contains — not in branches inside a monolith.
 
-Every stage also answers two questions for the idle-cycle fast-forward:
+Every stage also answers two questions for the event-horizon fast-forward:
 
-* :meth:`Stage.quiescent` — "can this stage change *any* machine state this
-  cycle, or on any later cycle before the next completion event drains?"
-  The contract is conservative: a stage may only report quiescent when its
-  tick would provably be a pure no-op **except** for per-cycle statistics
-  that :meth:`Stage.skip` knows how to bulk-attribute.  In particular the
-  issue stages refuse to report quiescent when a queue head has all
-  operands ready (it might touch the cache and mutate MSHR/bus counters),
-  so a fast-forward window only ever contains operand-wait stalls.
+* :meth:`Stage.next_wake_cycle` — the earliest future cycle at which this
+  stage's tick could possibly change machine state, ``None`` meaning "only
+  a completion event (or another stage acting first) can wake me", and the
+  current cycle meaning "I might act right now — do not skip".  The
+  contract is conservative: a stage may only report a future wake when
+  every tick before it would provably be a pure no-op **except** for
+  per-cycle statistics that :meth:`Stage.skip` knows how to bulk-replay.
+  Operand-wait stalls report ``None`` (the producer's completion event
+  bounds the window); structural memory refusals — a load or store head
+  retrying against a pinned L1 set or exhausted MSHR file — report the
+  refusal's own wake cycle from
+  :meth:`~repro.memory.hierarchy.MemorySystem.refusal_wake`, which is what
+  lets the horizon fire in *partially* idle windows.
 * :meth:`Stage.skip` — replay the stage's per-cycle side effects for ``k``
   skipped cycles in bulk.  For most stages that is nothing; the issue
   stages bulk-attribute empty issue slots and perceived-latency stalls per
-  round-robin phase, and issue/dispatch advance their round-robin pointers
-  by ``k``.  ``skip`` must leave the machine bit-identical to ``k``
-  individual ticks (enforced by ``tests/test_fast_forward.py``).
+  round-robin phase, issue/dispatch advance their round-robin pointers by
+  ``k``, and issue/store-drain bulk-replay the refusal counters their
+  blocked memory accesses would have incremented every cycle.  ``skip``
+  must leave the machine bit-identical to ``k`` individual ticks
+  (enforced by ``tests/test_fast_forward.py``).
 """
 
 from __future__ import annotations
@@ -69,12 +76,14 @@ class Stage:
         """Advance this stage by one cycle."""
         raise NotImplementedError
 
-    def quiescent(self, st: MachineState) -> bool:
-        """True iff ticking cannot change state until the next event."""
-        return False
+    def next_wake_cycle(self, st: MachineState):
+        """Earliest future cycle at which ticking could change machine
+        state: ``None`` = only an event can wake this stage, ``st.cycle``
+        = it might act right now (the conservative default)."""
+        return st.cycle
 
     def skip(self, st: MachineState, k: int) -> None:
-        """Bulk-replay the side effects of ``k`` quiescent ticks."""
+        """Bulk-replay the side effects of ``k`` skipped ticks."""
 
 
 # ------------------------------------------------------------------- writeback
@@ -137,8 +146,11 @@ class WritebackStage(Stage):
                     rename.free(d.pdest)
             d.state = ST_SQUASHED
 
-    def quiescent(self, st: MachineState) -> bool:
-        return not st.events or st.events[0][0] > st.cycle
+    def next_wake_cycle(self, st: MachineState):
+        # a due event means work this very cycle; future events are the
+        # horizon's own cap, so there is nothing to report beyond that
+        events = st.events
+        return st.cycle if events and events[0][0] <= st.cycle else None
 
 
 # ---------------------------------------------------------------------- commit
@@ -187,7 +199,10 @@ class CommitStage(Stage):
             st.total_committed += total
             st.last_commit_cycle = st.cycle
 
-    def quiescent(self, st: MachineState) -> bool:
+    def next_wake_cycle(self, st: MachineState):
+        # a ROB head becomes committable only through a completion event
+        # (instruction completion or a store's data register turning
+        # ready), so commit either acts now or sleeps until an event
         for t in st.threads:
             rob = t.rob
             if not rob:
@@ -196,8 +211,8 @@ class CommitStage(Stage):
             if d.state == ST_COMPLETED and (
                 d.pdata < 0 or t.rename.ready[d.pdata]
             ):
-                return False
-        return True
+                return st.cycle
+        return None
 
 
 # ----------------------------------------------------------------------- issue
@@ -219,6 +234,36 @@ def _blocked_reason(t: ThreadContext, d: DynInst):
                 return (SLOT_WAIT_MEM, prod, d)
             return (SLOT_WAIT_FU, None, d)
     return None
+
+
+#: Sentinel wake value: the head could act (or mutate memory state) this
+#: very cycle, so the issue stage must not be skipped over.
+_ACT = -1
+
+
+def _issue_head_wake(st: MachineState, t: ThreadContext, d: DynInst):
+    """How long the issue stage can provably ignore queue head ``d``.
+
+    Returns ``None`` when only a completion event can unblock it (operand
+    waits, store-to-load forwarding waiting on the store's data register),
+    :data:`_ACT` when ticking could issue it or otherwise mutate memory
+    state, or ``(wake_cycle, mshr_file)`` — the result of
+    :meth:`~repro.memory.hierarchy.MemorySystem.refusal_wake` — when the
+    head is a load the memory system structurally refuses until at least
+    ``wake_cycle`` (each skipped retry is replayed by :meth:`_IssueStage.skip`).
+    """
+    if _blocked_reason(t, d) is not None:
+        return None
+    s = d.static
+    op = s.op
+    if op != _OP_LOAD_F and op != _OP_LOAD_I:
+        return _ACT
+    fwd = t.saq.find_older_match(s.addr, d.seq)
+    if fwd is not None:
+        if fwd.pdata >= 0 and not t.rename.ready[fwd.pdata]:
+            return None  # the store's data arrives with an event
+        return _ACT      # forwarding would succeed: the load issues
+    return st.mem.refusal_wake(t.salted(s.addr), st.cycle, t.tid) or _ACT
 
 
 def _try_issue(st: MachineState, t: ThreadContext, d: DynInst, now: int):
@@ -348,20 +393,30 @@ def _account_slots(
 
 class _IssueStage(Stage):
     """Shared skeleton of the two issue variants: round-robin rotation,
-    quiescence (every relevant queue head operand-blocked) and bulk
-    slot accounting over a fast-forward window."""
+    wake computation (the earliest cycle any width-gated queue head could
+    issue or change shape) and bulk slot/refusal accounting over a
+    fast-forward window."""
 
     __slots__ = ()
 
-    def _queues(self, t: ThreadContext) -> tuple:
+    def _wake_heads(self, st: MachineState, t: ThreadContext):
+        """Yield the width-gated queue heads of one thread — exactly the
+        instructions :meth:`tick` would evaluate first per queue."""
         raise NotImplementedError
 
-    def quiescent(self, st: MachineState) -> bool:
+    def next_wake_cycle(self, st: MachineState):
+        wake = None
         for t in st.threads:
-            for q in self._queues(t):
-                if q and _blocked_reason(t, q[0]) is None:
-                    return False
-        return True
+            for d in self._wake_heads(st, t):
+                w = _issue_head_wake(st, t, d)
+                if w is None:
+                    continue
+                if w is _ACT:
+                    return st.cycle
+                c = w[0]
+                if wake is None or c < wake:
+                    wake = c
+        return wake
 
     def _probe(self, st: MachineState, start: int) -> tuple[list, list]:
         """Blocked-head snapshot per unit for one round-robin phase,
@@ -380,6 +435,16 @@ class _IssueStage(Stage):
             _account_slots(st, 0, cfg.ap_width, ap_blocked, times)
             _account_slots(st, 1, cfg.ep_width, ep_blocked, times)
         st.rr_issue = (start + k) % n
+        # Structurally refused loads re-probed the memory system once per
+        # cycle per head (issue widths never exhaust inside a window, so
+        # every thread's gated heads were visited every cycle regardless
+        # of round-robin phase): replay those k refusals per head.
+        mem = st.mem
+        for t in st.threads:
+            for d in self._wake_heads(st, t):
+                w = _issue_head_wake(st, t, d)
+                if w is not None and w is not _ACT:
+                    mem.replay_refusals(w[1], k)
 
 
 class DecoupledIssueStage(_IssueStage):
@@ -389,8 +454,12 @@ class DecoupledIssueStage(_IssueStage):
     __slots__ = ()
     name = "issue/decoupled"
 
-    def _queues(self, t: ThreadContext) -> tuple:
-        return (t.aq.q, t.iq.q)
+    def _wake_heads(self, st: MachineState, t: ThreadContext):
+        cfg = st.cfg
+        if cfg.ap_width and t.aq.q:
+            yield t.aq.q[0]
+        if cfg.ep_width and t.iq.q:
+            yield t.iq.q[0]
 
     def tick(self, st: MachineState) -> None:
         cfg = st.cfg
@@ -438,18 +507,25 @@ class DecoupledIssueStage(_IssueStage):
         cfg = st.cfg
         ap_blocked: list = []
         ep_blocked: list = []
+        # a head with all operands ready inside a window is a structurally
+        # refused (or forwarding-data-blocked) load; tick records it as
+        # (SLOT_OTHER, None, head), exactly what _try_issue returns
         if cfg.ap_width:
             for i in range(n):
                 t = threads[(start + i) % n]
                 q = t.aq.q
                 if q:
-                    ap_blocked.append(_blocked_reason(t, q[0]))
+                    d = q[0]
+                    r = _blocked_reason(t, d)
+                    ap_blocked.append(r if r is not None else (SLOT_OTHER, None, d))
         if cfg.ep_width:
             for i in range(n):
                 t = threads[(start + i) % n]
                 q = t.iq.q
                 if q:
-                    ep_blocked.append(_blocked_reason(t, q[0]))
+                    d = q[0]
+                    r = _blocked_reason(t, d)
+                    ep_blocked.append(r if r is not None else (SLOT_OTHER, None, d))
         return ap_blocked, ep_blocked
 
 
@@ -460,8 +536,13 @@ class UnifiedIssueStage(_IssueStage):
     __slots__ = ()
     name = "issue/unified"
 
-    def _queues(self, t: ThreadContext) -> tuple:
-        return (t.uq.q,)
+    def _wake_heads(self, st: MachineState, t: ThreadContext):
+        q = t.uq.q
+        if q:
+            d = q[0]
+            cfg = st.cfg
+            if cfg.ap_width if d.unit == _UNIT_AP else cfg.ep_width:
+                yield d
 
     def tick(self, st: MachineState) -> None:
         cfg = st.cfg
@@ -517,9 +598,15 @@ class UnifiedIssueStage(_IssueStage):
                 d = q[0]
                 if d.unit == _UNIT_AP:
                     if cfg.ap_width:
-                        ap_blocked.append(_blocked_reason(t, d))
+                        r = _blocked_reason(t, d)
+                        ap_blocked.append(
+                            r if r is not None else (SLOT_OTHER, None, d)
+                        )
                 elif cfg.ep_width:
-                    ep_blocked.append(_blocked_reason(t, d))
+                    r = _blocked_reason(t, d)
+                    ep_blocked.append(
+                        r if r is not None else (SLOT_OTHER, None, d)
+                    )
         return ap_blocked, ep_blocked
 
 
@@ -556,14 +643,45 @@ class StoreDrainStage(Stage):
                 elif status != S_HIT:
                     stats.store_merged += 1
 
-    def quiescent(self, st: MachineState) -> bool:
-        # a drainable head must block fast-forward even if the write would
-        # be refused: the attempt itself mutates memory-system counters
+    def next_wake_cycle(self, st: MachineState):
+        # A drainable head whose write would be *performed* pins the stage
+        # to the current cycle; one the memory system structurally refuses
+        # only wakes it at the refusal's own horizon — the per-cycle retry
+        # counters are bulk-replayed by skip(). A head that is not yet
+        # drainable sleeps until commit marks it ready (another stage).
+        wake = None
+        now = st.cycle
+        mem = st.mem
         for t in st.threads:
             q = t.saq.q
-            if q and q[0].store_ready and not q[0].mem_done:
-                return False
-        return True
+            if not q:
+                continue
+            d = q[0]
+            if not d.store_ready or d.mem_done:
+                continue
+            r = mem.refusal_wake(t.salted(d.static.addr), now, t.tid)
+            if r is None:
+                return now
+            c = r[0]
+            if wake is None or c < wake:
+                wake = c
+        return wake
+
+    def skip(self, st: MachineState, k: int) -> None:
+        # every refused drainable head retried once per cycle (ports are
+        # never exhausted inside a window, so tick reached every thread)
+        mem = st.mem
+        now = st.cycle
+        for t in st.threads:
+            q = t.saq.q
+            if not q:
+                continue
+            d = q[0]
+            if not d.store_ready or d.mem_done:
+                continue
+            r = mem.refusal_wake(t.salted(d.static.addr), now, t.tid)
+            if r is not None:
+                mem.replay_refusals(r[1], k)
 
 
 # -------------------------------------------------------------------- dispatch
@@ -705,12 +823,15 @@ class DispatchStage(Stage):
         if dispatched:
             st.stats.dispatched += dispatched
 
-    def quiescent(self, st: MachineState) -> bool:
+    def next_wake_cycle(self, st: MachineState):
+        # every dispatch obstacle (full ROB/queue/SAQ, branch limit,
+        # rename pressure, empty fetch buffer) clears only through
+        # another stage acting, so dispatch either acts now or sleeps
         for t in st.threads:
             buf = t.fetch_buf
             if buf and self.can_dispatch(st, t, buf[0]):
-                return False
-        return True
+                return st.cycle
+        return None
 
     def skip(self, st: MachineState, k: int) -> None:
         # the round-robin pointer rotates every cycle, progress or not
@@ -820,12 +941,15 @@ class FetchStage(Stage):
         for t in cands[: cfg.fetch_threads]:
             self._fetch_thread(st, t)
 
-    def quiescent(self, st: MachineState) -> bool:
+    def next_wake_cycle(self, st: MachineState):
+        # buffer space opens only when dispatch drains it; a thread with
+        # room always fetches at least one instruction, so fetch either
+        # acts now or sleeps until another stage moves
         buffer = st.cfg.fetch_buffer
         for t in st.threads:
             if len(t.fetch_buf) < buffer and (t.wrong_path or not t.exhausted):
-                return False
-        return True
+                return st.cycle
+        return None
 
 
 # ----------------------------------------------------------------- composition

@@ -158,6 +158,17 @@ class SweepResult(dict):
     def n_runs(self) -> int:
         return len(self)
 
+    # Skip-effectiveness of the event-horizon scheduler, summed over the
+    # batch (cached results included: the counters describe how the
+    # result *was produced*, whichever map call paid for it).
+    @property
+    def ff_jumps(self) -> int:
+        return sum(s.ff_jumps for s in self.values())
+
+    @property
+    def ff_cycles_skipped(self) -> int:
+        return sum(s.ff_cycles_skipped for s in self.values())
+
 
 class Engine:
     """Schedules batches of :class:`RunSpec` over workers and caches.
@@ -204,6 +215,10 @@ class Engine:
         self.n_screened = 0
         self.n_promoted = 0
         self.cycle_cells_saved = 0
+        # event-horizon skip effectiveness, summed over fresh simulations
+        # (cache hits excluded: their skips were counted when first run)
+        self.ff_jumps = 0
+        self.ff_cycles_skipped = 0
 
     @classmethod
     def serial(cls) -> "Engine":
@@ -453,6 +468,8 @@ class Engine:
         self, spec: RunSpec, stats: SimStats, event: str = "executed"
     ) -> SimStats:
         self._memo[spec] = copy.deepcopy(stats)  # isolate from the caller
+        self.ff_jumps += stats.ff_jumps
+        self.ff_cycles_skipped += stats.ff_cycles_skipped
         if self.cache is not None:
             self.cache.put(spec, stats)
         self._emit(event, spec)

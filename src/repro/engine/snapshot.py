@@ -150,10 +150,9 @@ class Snapshot:
                 "not a MachineState"
             )
         state.rebind_playlists(spec.playlists())
-        proc = Processor.from_state(state)
-        proc.ff_jumps = self.meta.get("ff_jumps", 0)
-        proc.ff_cycles_skipped = self.meta.get("ff_cycles_skipped", 0)
-        return proc
+        # the fast-forward diagnostics travel inside the pickled SimStats
+        # (the header copies are informational only)
+        return Processor.from_state(state)
 
 
 # -- forking helpers (the scheduler's warmup amortization) ----------------------

@@ -9,10 +9,11 @@ cover the engine room's distinct regimes, and records the results as a
 
 The headline workload is the paper's Figure-1 ``su2cor`` point at 1 thread
 and L2 = 256 — the canonical "decoupling degraded, machine mostly idle"
-case this PR's idle-cycle fast-forward targets.  For that workload the
+case the event-horizon fast-forward targets.  For that workload the
 harness runs the simulation twice, with fast-forward enabled and with the
 plain cycle-by-cycle walk, and reports the wall-clock speedup (the two are
-bit-identical in statistics, so this is a pure performance comparison).
+bit-identical in every architectural statistic, so this is a pure
+performance comparison).
 
 Schema of the emitted document (``schema`` = ``repro-perf/1``)::
 
@@ -36,7 +37,7 @@ Schema of the emitted document (``schema`` = ``repro-perf/1``)::
         "wall_s_fast_forward": 0.45,
         "wall_s_stepping": 0.95,
         "speedup": 2.1,               # stepping / fast-forward
-        "bit_identical": true         # SimStats.to_dict() equality
+        "bit_identical": true         # SimStats.comparable_dict() equality
       },
       "forked_sweep": {               # checkpoint/forked-sweep benchmark
         "n_cells": 4,                 # warm-dominated grid size
@@ -115,6 +116,16 @@ def perf_specs(quick: bool = False) -> dict[str, RunSpec]:
             workload_preset("thrash4"), l2_latency=64, scale=1.0,
             commits=s(10_000), warmup=s(4_000),
         ),
+        # latency-dominated 4T machine (PR 10): four threads share four
+        # MSHRs against 256-cycle misses, so ready loads spend most
+        # cycles structurally *refused* — exactly the partial-idle
+        # windows the binary all-idle fast-forward could never skip
+        # (a ready head made the cycle ineligible) and the event-horizon
+        # scheduler jumps wholesale
+        "hilat_4T_L2=256": RunSpec.multiprogrammed(
+            4, l2_latency=256, scale=1.0, mshrs=4,
+            commits_per_thread=s(10_000), warmup_per_thread=s(5_000),
+        ),
     }
 
 
@@ -165,7 +176,9 @@ def measure(
 
 def profile_workload(spec: RunSpec, top_n: int = 15) -> list[str]:
     """One cProfile'd run of ``spec``'s measured region; returns the
-    ``tottime``-sorted top-``top_n`` report lines.
+    ``tottime``-sorted top-``top_n`` report lines followed by a per-stage
+    tick-time breakdown (cumulative seconds and share per pipeline
+    stage), so a regression names the stage, not just the workload.
 
     Run *separately* from :func:`measure` — the profiler's tracing
     overhead would distort every wall-clock number it shared a run with.
@@ -180,12 +193,37 @@ def profile_workload(spec: RunSpec, top_n: int = 15) -> list[str]:
     proc.run(**run_kwargs)
     profiler.disable()
     buf = io.StringIO()
-    pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(
-        top_n
-    )
+    ps = pstats.Stats(profiler, stream=buf)
+    ps.sort_stats("tottime").print_stats(top_n)
     # keep the header + table rows, drop pstats' leading blank chatter
     lines = [ln.rstrip() for ln in buf.getvalue().splitlines()]
-    return [ln for ln in lines if ln][:top_n + 6]
+    out = [ln for ln in lines if ln][:top_n + 6]
+    # per-stage breakdown: each stage's tick is its own code object, so
+    # the raw pstats table (keyed by filename/lineno/name) resolves the
+    # bound methods the run loop actually called back to stage names
+    tick_of = {}
+    for stage in proc.stages:
+        code = stage.tick.__func__.__code__
+        tick_of[(code.co_filename, code.co_firstlineno, code.co_name)] = (
+            stage.name
+        )
+    rows = []
+    total = 0.0
+    for key, (_cc, nc, _tt, ct, _callers) in ps.stats.items():
+        name = tick_of.get(key)
+        if name is not None:
+            rows.append((ct, nc, name))
+            total += ct
+    if rows:
+        rows.sort(reverse=True)
+        out.append("per-stage tick time (cumulative):")
+        for ct, nc, name in rows:
+            share = ct / total if total else 0.0
+            out.append(
+                f"  {name:<16} {ct:8.3f}s  {share * 100:5.1f}%  "
+                f"({nc:,} ticks)"
+            )
+    return out
 
 
 #: measured-commit budgets (pre-scale, per cell) of the forked-sweep grid
@@ -308,7 +346,11 @@ def run_perf(
                 "wall_s_fast_forward": m["wall_s"],
                 "wall_s_stepping": step_m["wall_s"],
                 "speedup": round(speedup, 2),
-                "bit_identical": stats.to_dict() == step_stats.to_dict(),
+                # architectural counters only: the scheduler's own
+                # ff_jumps/ff_cycles_skipped differ between modes by design
+                "bit_identical": (
+                    stats.comparable_dict() == step_stats.comparable_dict()
+                ),
             }
             say(f"{name}: fast-forward speedup {speedup:.2f}x "
                 f"(bit-identical: {doc['headline']['bit_identical']})")

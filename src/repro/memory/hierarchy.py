@@ -219,6 +219,61 @@ class MemorySystem:
         accesses and stay eligible)."""
         return not self.prefetcher.tick_driven
 
+    def refusal_wake(self, addr, now, tid=0):
+        """Classify what an access to ``addr`` would do *right now* without
+        performing it — the memory system's half of the event-horizon
+        wake protocol (see ``core/stages.py``).
+
+        Returns ``None`` when the access would succeed (hit, merge or a
+        primary miss with every needed MSHR free): the requesting stage
+        cannot be skipped over.  Otherwise the access is structurally
+        refused and the result is ``(wake_cycle, mshr_file)``:
+
+        * ``wake_cycle`` — the earliest future cycle at which the refusal
+          could change shape (the pinned set unpins, or the blocking MSHR
+          file's earliest release).  Until then a retry every cycle is a
+          pure counter increment that :meth:`replay_refusals` can bulk-
+          replay.
+        * ``mshr_file`` — the file whose exhaustion blocked the request
+          (charged one ``alloc_failures`` per retry by the per-cycle
+          walk), or ``None`` for a pinned-set (``CONFLICT``) refusal.
+
+        Stability argument: inside a fast-forward window nothing issues,
+        fills or allocates, so probe outcomes are frozen, MSHR files only
+        drain (monotonically, and draining here is the same lazy drain
+        the walk's own ``available(now)`` would perform), and the first
+        blocked level of the outer plan stays the first blocked level
+        until its own earliest release.  This method works identically
+        under the spec-specialized fast path: the closures share the same
+        L1 arrays and MSHR files.  Tick-driven prefetchers are excluded
+        wholesale by :attr:`fast_forward_safe`.
+        """
+        l1 = self._l1_for(tid)
+        outcome, _idx, when = l1.probe(addr, now)
+        if outcome == HIT or outcome == SECONDARY:
+            return None
+        if outcome == CONFLICT:
+            return when, None
+        mshrs = self.mshrs
+        if not mshrs.available(now):
+            return mshrs._releases[0], mshrs
+        _lat, _serving, missed = self._plan_outer(
+            self._line_of_addr(addr), tid
+        )
+        for lvl in missed:
+            if not lvl.mshrs.available(now):
+                return lvl.mshrs._releases[0], lvl.mshrs
+        return None
+
+    def replay_refusals(self, mshr_file, k: int) -> None:
+        """Bulk-replay ``k`` per-cycle structural refusals of one request:
+        the counter increments ``k`` refused retries of :meth:`load` or
+        :meth:`store` would have made, with ``mshr_file`` as returned by
+        :meth:`refusal_wake` (``None`` for a pinned-set conflict)."""
+        self.blocked_requests += k
+        if mshr_file is not None:
+            mshr_file.alloc_failures += k
+
     # -- per-cycle arbitration -------------------------------------------------
 
     def begin_cycle(self) -> None:

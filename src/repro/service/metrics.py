@@ -40,6 +40,10 @@ class ServiceMetrics:
             "cycle_cells_saved": sum(
                 e.cycle_cells_saved for e in engines
             ),
+            "ff_jumps": sum(e.ff_jumps for e in engines),
+            "ff_cycles_skipped": sum(
+                e.ff_cycles_skipped for e in engines
+            ),
         }
         return {
             "uptime_s": round(time.time() - self.started, 3),

@@ -32,6 +32,12 @@ N_SLOT_CATEGORIES = 6
 SLOT_NAMES = ("useful", "wrong_path", "wait_mem", "wait_fu", "other", "idle")
 
 
+#: Counters that describe *how* the scheduler executed a region rather
+#: than what the machine did — legitimately different between the
+#: event-horizon fast-forward and the forced per-cycle walk.
+SCHEDULER_DIAGNOSTICS = ("ff_jumps", "ff_cycles_skipped")
+
+
 @dataclass
 class SimStats:
     """Mutable counters filled by the pipeline; reset at the warm-up mark."""
@@ -99,6 +105,15 @@ class SimStats:
     fidelity: str = ""
     ipc_lo: float = 0.0
     ipc_hi: float = 0.0
+
+    # event-horizon scheduler diagnostics: how much of the region was
+    # bulk-jumped instead of walked cycle-by-cycle. Deterministic for a
+    # given machine state and fast-forward mode, but excluded from
+    # differential comparisons (:meth:`comparable_dict`): the jump and
+    # the walk must agree on every architectural counter above while
+    # necessarily disagreeing on these two.
+    ff_jumps: int = 0
+    ff_cycles_skipped: int = 0
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -235,6 +250,19 @@ class SimStats:
             kw["slot_counts"] = [list(row) for row in kw["slot_counts"]]
         return cls(**kw)
 
+    def comparable_dict(self) -> dict:
+        """:meth:`to_dict` minus the scheduler diagnostics.
+
+        The differential suites compare a fast-forwarded run against the
+        forced per-cycle walk: every architectural counter must be
+        bit-identical, while ``ff_jumps``/``ff_cycles_skipped`` describe
+        the scheduling itself and differ by construction.
+        """
+        out = self.to_dict()
+        for key in SCHEDULER_DIAGNOSTICS:
+            del out[key]
+        return out
+
     def snapshot(self) -> dict:
         """Plain-dict summary used by reports and experiment tables."""
         out = {
@@ -265,6 +293,10 @@ class SimStats:
             },
             "ap_slots": self.slot_fractions(Unit.AP),
             "ep_slots": self.slot_fractions(Unit.EP),
+            "ff": {
+                "jumps": self.ff_jumps,
+                "cycles_skipped": self.ff_cycles_skipped,
+            },
         }
         if self.fidelity:
             out["fidelity"] = self.fidelity

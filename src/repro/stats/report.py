@@ -16,6 +16,12 @@ def format_run(stats: SimStats, label: str = "") -> str:
     if label:
         lines.append(f"== {label} ==")
     lines.append(f"cycles               {stats.cycles}")
+    if stats.ff_jumps:
+        lines.append(
+            f"ff skipped           {stats.ff_cycles_skipped} cycles in "
+            f"{stats.ff_jumps} jumps "
+            f"({stats.ff_cycles_skipped / stats.cycles * 100:.1f}% of cycles)"
+        )
     lines.append(f"committed            {stats.committed}")
     lines.append(f"IPC                  {stats.ipc:.3f}")
     lines.append(f"load miss ratio      {stats.load_miss_ratio * 100:.1f}%")

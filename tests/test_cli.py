@@ -169,6 +169,9 @@ class TestSweepCommand:
         # the summary line reports the fork counters on stderr
         assert "2 forked" in captured.err
         assert "warmup cycles saved" in captured.err
+        # skip effectiveness is surfaced in the doc and the summary line
+        assert forked["ff_jumps"] >= 0
+        assert "fast-forwarded" in captured.err
         # per-cell results are byte-identical to the cold sweep
         for run_cold, run_forked in zip(cold["runs"], forked["runs"]):
             assert run_forked["stats"] == run_cold["stats"]

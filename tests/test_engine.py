@@ -419,6 +419,23 @@ class TestForkedSweeps:
         assert result.n_forked == 0 and result.warmup_cycles_saved == 0
 
 
+class TestSkipEffectivenessSurfacing:
+    def test_sweep_and_engine_totals(self):
+        # a latency-dominated single-thread cell fast-forwards heavily
+        spec = tiny_spec(l2_latency=256)
+        engine = Engine.serial()
+        result = engine.map([spec])
+        assert result.ff_jumps > 0
+        assert result.ff_cycles_skipped > 0
+        assert engine.ff_jumps == result.ff_jumps
+        assert engine.ff_cycles_skipped == result.ff_cycles_skipped
+        # a memo hit re-reports the batch totals (they describe how the
+        # result was produced) without growing the lifetime counters
+        again = engine.map([spec])
+        assert again.ff_cycles_skipped == result.ff_cycles_skipped
+        assert engine.ff_cycles_skipped == result.ff_cycles_skipped
+
+
 class TestDeepCopySafety:
     def test_caller_mutation_cannot_corrupt_memo(self):
         # the engine hands out independent objects: mutating a returned

@@ -1,11 +1,14 @@
-"""Differential tests: idle-cycle fast-forward vs per-cycle stepping.
+"""Differential tests: event-horizon fast-forward vs per-cycle stepping.
 
 The staged kernel's fast-forward must be *bit-identical* to the plain
 cycle-by-cycle walk — same cycle counts, same issue-slot attribution, same
-perceived-latency stalls, same everything ``SimStats.to_dict()`` can see.
-These tests drive the Figure-3 grid plus randomized configurations through
-both stepping modes in chunks, calling ``check_invariants()`` between
-chunks, and assert exact equality of the full statistics dictionaries.
+perceived-latency stalls, same refusal counters, same everything
+``SimStats.comparable_dict()`` can see (only the scheduler's own
+``ff_jumps``/``ff_cycles_skipped`` diagnostics may differ between modes).
+These tests drive the Figure-3 grid plus randomized full-idle and
+partial-idle configurations through both stepping modes in chunks, calling
+``check_invariants()`` between chunks, and assert exact equality of the
+comparable statistics dictionaries.
 """
 
 from __future__ import annotations
@@ -55,7 +58,7 @@ def assert_differential(spec: RunSpec) -> Processor:
     proc_ff, stats_ff = run_checked(spec, fast_forward=True)
     proc_step, stats_step = run_checked(spec, fast_forward=False)
     assert proc_step.ff_cycles_skipped == 0
-    d_ff, d_step = stats_ff.to_dict(), stats_step.to_dict()
+    d_ff, d_step = stats_ff.comparable_dict(), stats_step.comparable_dict()
     diff = {
         k: (d_ff[k], d_step[k]) for k in d_ff if d_ff[k] != d_step[k]
     }
@@ -152,6 +155,70 @@ class TestPrefetcherConfigs:
         )
 
 
+class TestPartialIdleWindows:
+    """The event-horizon tentpole: jumps must fire (and stay
+    bit-identical) in windows where some stage is *not* operand-blocked —
+    issue heads retrying against exhausted MSHR files, store heads
+    retrying against pinned L1 sets — which the old all-quiescent
+    protocol walked cycle by cycle."""
+
+    def test_mshr_starved_threads_skip(self):
+        """With 2 MSHRs and 4 memory-hungry threads, most stall windows
+        contain a structurally refused load head; the horizon must still
+        fire there and the refusal counters must match the walk's."""
+        spec = RunSpec.multiprogrammed(
+            4, l2_latency=128, mshrs=2, commits_per_thread=900,
+            warmup_per_thread=200, scale=1.0, seg_instrs=4000,
+        )
+        proc = assert_differential(spec)
+        assert proc.ff_cycles_skipped > 0
+        assert proc.stats.blocked_requests > 0  # refusals really happened
+
+    def test_store_drain_refusal_skip(self):
+        """Same property on the unified machine, where the store drain's
+        retries against a long-latency hierarchy dominate."""
+        spec = RunSpec.multiprogrammed(
+            2, l2_latency=256, decoupled=False, mshrs=4,
+            commits_per_thread=900, warmup_per_thread=200,
+            scale=1.0, seg_instrs=4000,
+        )
+        proc = assert_differential(spec)
+        assert proc.ff_cycles_skipped > 0
+
+
+class TestRandomizedPartialIdle:
+    """Seeded-random partial-idle scenarios over exotic hierarchies: a
+    finite banked L2, a stream prefetcher, split per-thread L1 slices and
+    mixed decoupled/unified machines (run in CI also under
+    ``REPRO_GENERIC_MEM=1`` and without numpy — the fallback-paths job)."""
+
+    @pytest.mark.parametrize("draw", [0, 1, 2, 3])
+    def test_bit_identical(self, draw):
+        from repro.memory.spec import mem_preset
+
+        rng = random.Random(0x20260807 + draw)
+        mem = [
+            mem_preset("l2_small").override("L2.banks", 2),
+            mem_preset("classic").override("L1.shared", False),
+            mem_preset("stream"),
+            mem_preset("l2_small").override("prefetch_kind", "nextline"),
+        ][draw]
+        spec = RunSpec.multiprogrammed(
+            rng.choice([2, 3, 4]),
+            l2_latency=rng.choice([64, 128, 256]),
+            decoupled=rng.random() < 0.5,
+            mshrs=rng.choice([2, 4]),
+            seed=rng.randrange(100),
+            mem=mem,
+            commits_per_thread=800,
+            warmup_per_thread=200,
+            scale=1.0,
+            seg_instrs=4000,
+        )
+        proc = assert_differential(spec)
+        assert proc.ff_cycles_skipped > 0
+
+
 class TestDeadlockEquivalence:
     """The deadlock horizon must fire at the same cycle, with the same
     statistics, whether reached by stepping or by a fast-forward jump."""
@@ -164,12 +231,45 @@ class TestDeadlockEquivalence:
 
     def test_same_cycle_and_stats(self):
         outcomes = []
+        skipped = []
         for ff in (True, False):
             proc = self._machine()
             with pytest.raises(SimulationError) as exc:
                 proc.run(max_commits=2000, max_cycles=1_000_000,
                          fast_forward=ff)
-            outcomes.append((proc.cycle, proc.stats.to_dict(), str(exc.value)))
+            outcomes.append(
+                (proc.cycle, proc.stats.comparable_dict(), str(exc.value))
+            )
+            skipped.append(proc.ff_cycles_skipped)
+        assert outcomes[0] == outcomes[1]
+        # the jump really crossed part of the no-commit window — i.e. the
+        # watchdog tripped at the same cycle *because* skipped cycles
+        # count toward the threshold, not because no jump happened
+        assert skipped[0] > 0
+        assert skipped[1] == 0
+
+    def test_structural_deadlock_same_cycle(self):
+        """A machine wedged on *structural* refusals (every MSHR held by
+        fills that outlive the deadlock horizon) must trip the watchdog at
+        the same cycle with fast-forward on and off — the partial-idle
+        jump may never leap over the threshold."""
+        from repro.workloads.multiprogram import multiprogram
+
+        cfg = paper_config(2, decoupled=True, l2_latency=2000, mshrs=2,
+                           deadlock_cycles=80)
+        outcomes = []
+        for ff in (True, False):
+            proc = Processor(
+                cfg, multiprogram(2, seg_instrs=2000, seed=0,
+                                  names=["su2cor", "tomcatv"]),
+                seed=0,
+            )
+            with pytest.raises(SimulationError) as exc:
+                proc.run(max_commits=4000, max_cycles=1_000_000,
+                         fast_forward=ff)
+            outcomes.append(
+                (proc.cycle, proc.stats.comparable_dict(), str(exc.value))
+            )
         assert outcomes[0] == outcomes[1]
 
 
@@ -196,7 +296,7 @@ class TestFiniteProgramDrain:
             proc = Processor(cfg, [[tr]], wrap=False)
             stats = proc.run(max_cycles=50_000, fast_forward=ff)
             assert proc.finished()
-            results.append(stats.to_dict())
+            results.append(stats.comparable_dict())
         assert results[0] == results[1]
 
 

@@ -264,9 +264,11 @@ def test_stats_round_trip_on_random_configs(seed):
 
 @pytest.mark.parametrize("seed", GRID_SEEDS)
 def test_fast_forward_is_bit_identical_on_random_configs(seed):
+    # comparable_dict: every architectural counter must match; only the
+    # scheduler's own ff_jumps/ff_cycles_skipped diagnostics may differ
     walked = _grid_run(seed, fast_forward=False)[2]
     jumped = _grid_run(seed, fast_forward=True)[2]
-    assert jumped.to_dict() == walked.to_dict()
+    assert jumped.comparable_dict() == walked.comparable_dict()
 
 
 @pytest.mark.parametrize("seed", GRID_SEEDS)

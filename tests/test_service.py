@@ -218,6 +218,8 @@ class TestHTTP:
         assert metrics["jobs"]["submitted"] >= 1
         assert metrics["jobs"]["completed"] >= 1
         assert metrics["engine"]["n_executed"] >= 1
+        assert metrics["engine"]["ff_jumps"] >= 0
+        assert "ff_cycles_skipped" in metrics["engine"]
         assert metrics["queue_depth"] == 0
         assert metrics["draining"] is False
         assert metrics["service_workers"] == len(service.engines)

@@ -220,6 +220,33 @@ class TestMidRegionCapture:
         assert stats_a.to_dict() == stats_b.to_dict()
         assert proc.state.fingerprint() == twin.state.fingerprint()
 
+    def test_capture_lands_mid_stall_window(self):
+        """A ``max_cycles`` stop can truncate an event-horizon jump,
+        parking the machine inside a memory-stall window; capture there
+        must still restore bit-identically (the ff diagnostics travel
+        inside the pickled ``SimStats``)."""
+        spec = RunSpec.multiprogrammed(
+            2, l2_latency=256, commits_per_thread=800,
+            warmup_per_thread=200, scale=1.0, seg_instrs=4000,
+        )
+        proc, kw = spec.instantiate()
+        proc.run(max_commits=kw["warmup_commits"], max_cycles=None)
+        proc.reset_stats()
+        # a tight cycle budget at latency 256 stops between events, not
+        # at a commit boundary — the adversarial capture point
+        proc.run(max_commits=kw["max_commits"], warmup_commits=0,
+                 max_cycles=700)
+        assert proc.stats.ff_cycles_skipped > 0
+        snap = Snapshot.capture(proc, spec=spec)
+        rest = kw["max_commits"] - proc.stats.committed
+        stats_a = proc.run(max_commits=rest, warmup_commits=0,
+                           max_cycles=kw["max_cycles"])
+        twin = Snapshot.from_bytes(snap.to_bytes()).restore(spec)
+        stats_b = twin.run(max_commits=rest, warmup_commits=0,
+                           max_cycles=kw["max_cycles"])
+        assert stats_a.to_dict() == stats_b.to_dict()
+        assert proc.state.fingerprint() == twin.state.fingerprint()
+
 
 class TestForkedSiblings:
     """One warm-up snapshot fans out to cells with different measured

@@ -94,6 +94,19 @@ class TestReport:
         assert "IPC" in text
         assert "2.000" in text
 
+    def test_format_run_shows_skip_effectiveness(self):
+        s = SimStats(cycles=1000, committed=20,
+                     ff_jumps=4, ff_cycles_skipped=600)
+        text = format_run(s)
+        assert "600 cycles in 4 jumps" in text
+        assert "60.0% of cycles" in text
+        # and the line is absent entirely when the scheduler never jumped
+        assert "jumps" not in format_run(SimStats(cycles=10, committed=5))
+
+    def test_snapshot_carries_ff_diagnostics(self):
+        snap = SimStats(ff_jumps=2, ff_cycles_skipped=50).snapshot()
+        assert snap["ff"] == {"jumps": 2, "cycles_skipped": 50}
+
     def test_format_table_alignment(self):
         out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
         lines = out.splitlines()
